@@ -1,0 +1,48 @@
+//! # hoard-baselines — the paper's allocator taxonomy, as baselines
+//!
+//! Section 2–3 of the Hoard paper classifies multithreaded allocators
+//! and derives each class's scalability and blowup properties. This
+//! crate implements one representative of each class against the same
+//! [`MtAllocator`](hoard_mem::MtAllocator) interface as Hoard, so every
+//! experiment can sweep all of them:
+//!
+//! | Type | Models | Scalability | Blowup | False sharing |
+//! |---|---|---|---|---|
+//! | [`SerialAllocator`] | Solaris `malloc` | none (one lock) | `O(1)` | active + passive |
+//! | [`PurePrivateAllocator`] | Cilk / STL per-thread heaps | perfect | **unbounded** | passive |
+//! | [`OwnershipAllocator`] | `ptmalloc` arenas | good until remote frees | `O(P)` | passive (shared arenas) |
+//! | [`MtLikeAllocator`] | Solaris `mtmalloc` | poor beyond a few CPUs | `O(P)` | passive |
+//!
+//! All four route requests above `S/2`-style thresholds to the OS the
+//! same way Hoard does (via [`hoard_mem::large`]), carve fixed-size
+//! chunks into size-class blocks, and *never coalesce* — faithful to the
+//! modelled allocators' behavior in the paper's experiments.
+//!
+//! ```
+//! use hoard_baselines::SerialAllocator;
+//! use hoard_mem::MtAllocator;
+//!
+//! let serial = SerialAllocator::new();
+//! let p = unsafe { serial.allocate(64) }.expect("oom");
+//! unsafe { serial.deallocate(p) };
+//! assert_eq!(serial.stats().live_current, 0);
+//! ```
+
+mod mtlike;
+mod ownership;
+mod pure_private;
+mod serial;
+mod subheap;
+
+pub use mtlike::MtLikeAllocator;
+pub use ownership::OwnershipAllocator;
+pub use pure_private::PurePrivateAllocator;
+pub use serial::SerialAllocator;
+
+/// Default chunk size baseline allocators request from the OS (64 KiB:
+/// sbrk-style coarse chunks, as the modelled allocators used).
+pub const BASELINE_CHUNK: usize = 64 * 1024;
+
+/// Default number of per-thread heaps/arenas/caches for the
+/// heap-per-thread baselines (matches Hoard's default heap count).
+pub const DEFAULT_HEAPS: usize = 16;

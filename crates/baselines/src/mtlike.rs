@@ -1,0 +1,319 @@
+//! A caching allocator in the style of Solaris `mtmalloc`.
+//!
+//! Threads own per-thread caches (free-list magazines) and refill them
+//! in batches from one **central region protected by a single global
+//! lock**. Frees go to the *freeing* thread's cache and stay there —
+//! mtmalloc's per-thread buckets never shrink. The result, as in the
+//! paper's measurements: reasonable behavior at low processor counts,
+//! a scalability collapse once refill traffic saturates the central
+//! lock, `O(P)`-ish blowup from unbounded caches, and passive false
+//! sharing from cross-thread block reuse.
+
+use crate::subheap::{decode_header, encode_header, ChunkRegistry, SubHeap};
+use crate::{BASELINE_CHUNK, DEFAULT_HEAPS};
+use hoard_mem::{
+    large, read_header, write_header, AllocSnapshot, AllocStats, ChunkSource, MtAllocator,
+    SizeClassTable, SystemSource, Tag,
+};
+use hoard_sim::{charge_cost, current_proc, Cost, VLock};
+use std::ptr::NonNull;
+
+/// Blocks moved from the central region per refill.
+const REFILL_BATCH: usize = 6;
+
+/// Per-class cache occupancy that triggers a surplus return to the
+/// central region (mtmalloc-style cache garbage collection). Keeping
+/// caches bounded forces steady-state traffic through the central lock —
+/// the behavior behind mtmalloc's scalability collapse in the paper.
+const CACHE_LIMIT: u32 = 64;
+
+/// One thread cache: lock, subheap, and per-class occupancy counters.
+#[repr(align(64))]
+struct Cache {
+    lock: hoard_sim::VLock,
+    heap: SubHeap,
+    counts: [std::cell::UnsafeCell<u32>; hoard_mem::MAX_CLASSES],
+}
+
+// Safety: counts are only touched under `lock`.
+unsafe impl Send for Cache {}
+unsafe impl Sync for Cache {}
+
+impl Cache {
+    fn new() -> Self {
+        Cache {
+            lock: hoard_sim::VLock::new(),
+            heap: SubHeap::new(),
+            counts: [const { std::cell::UnsafeCell::new(0) }; hoard_mem::MAX_CLASSES],
+        }
+    }
+}
+
+/// Per-thread-cache allocator with a central lock (`mtmalloc`-like).
+pub struct MtLikeAllocator<Src: ChunkSource = SystemSource> {
+    classes: SizeClassTable,
+    caches: Vec<Cache>,
+    central_lock: VLock,
+    central: SubHeap,
+    chunks: ChunkRegistry,
+    stats: AllocStats,
+    source: Src,
+    chunk_size: usize,
+}
+
+impl MtLikeAllocator<SystemSource> {
+    /// Default: [`DEFAULT_HEAPS`] thread caches over the system source.
+    pub fn new() -> Self {
+        Self::with_caches(DEFAULT_HEAPS)
+    }
+
+    /// Build with `caches` thread caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches == 0` or `caches > 256`.
+    pub fn with_caches(caches: usize) -> Self {
+        Self::with_source(caches, SystemSource::new())
+    }
+}
+
+impl Default for MtLikeAllocator<SystemSource> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Src: ChunkSource> MtLikeAllocator<Src> {
+    /// Build with `caches` thread caches over a custom source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches == 0` or `caches > 256`.
+    pub fn with_source(caches: usize, source: Src) -> Self {
+        assert!(caches > 0 && caches <= 256, "caches must be in 1..=256");
+        MtLikeAllocator {
+            classes: SizeClassTable::for_superblock_size(BASELINE_CHUNK / 8),
+            caches: (0..caches).map(|_| Cache::new()).collect(),
+            central_lock: VLock::new(),
+            central: SubHeap::new(),
+            chunks: ChunkRegistry::new(),
+            stats: AllocStats::new(),
+            source,
+            chunk_size: BASELINE_CHUNK,
+        }
+    }
+
+    fn my_cache(&self) -> usize {
+        current_proc() % self.caches.len()
+    }
+
+    /// Central-lock telemetry: `(acquisitions, contended)` — the paper's
+    /// explanation for mtmalloc's scaling collapse.
+    pub fn central_contention(&self) -> (u64, u64) {
+        (self.central_lock.acquisitions(), self.central_lock.contentions())
+    }
+
+    /// Refill `cache` (whose lock is held) with up to [`REFILL_BATCH`]
+    /// blocks of `class` from the central region.
+    ///
+    /// # Safety
+    ///
+    /// `cache`'s lock held.
+    unsafe fn refill(&self, cache: &Cache, class: usize, block_size: usize) -> Option<()> {
+        let _central = self.central_lock.lock();
+        for _ in 0..REFILL_BATCH {
+            let mut payload = self.central.pop(class);
+            if payload.is_null() {
+                payload = self.central.carve(block_size);
+            }
+            if payload.is_null() {
+                let chunk = self.chunks.alloc_chunk(&self.source, self.chunk_size)?;
+                self.central.add_chunk(chunk.as_ptr(), self.chunk_size);
+                payload = self.central.carve(block_size);
+                debug_assert!(!payload.is_null());
+            }
+            cache.heap.push(class, payload);
+        }
+        *cache.counts[class].get() += REFILL_BATCH as u32;
+        Some(())
+    }
+
+    /// Return half of an over-full class list to the central region.
+    ///
+    /// # Safety
+    ///
+    /// `cache`'s lock held; the class list has at least CACHE_LIMIT
+    /// entries.
+    unsafe fn return_surplus(&self, cache: &Cache, class: usize) {
+        let _central = self.central_lock.lock();
+        for _ in 0..CACHE_LIMIT / 2 {
+            let payload = cache.heap.pop(class);
+            debug_assert!(!payload.is_null());
+            self.central.push(class, payload);
+        }
+        *cache.counts[class].get() -= CACHE_LIMIT / 2;
+    }
+}
+
+unsafe impl<Src: ChunkSource> MtAllocator for MtLikeAllocator<Src> {
+    fn name(&self) -> &'static str {
+        "mtlike"
+    }
+
+    unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
+        debug_assert!(size > 0);
+        charge_cost(Cost::MallocFast);
+        let Some(class) = self.classes.index_for(size) else {
+            let p = large::alloc_large(&self.source, size)?;
+            self.stats.on_alloc(size as u64);
+            return Some(p);
+        };
+        let block_size = self.classes.class(class).block_size as usize;
+        let idx = self.my_cache();
+        let cache = &self.caches[idx];
+        let _guard = cache.lock.lock();
+        let mut payload = cache.heap.pop(class);
+        if payload.is_null() {
+            self.refill(cache, class, block_size)?;
+            payload = cache.heap.pop(class);
+            debug_assert!(!payload.is_null());
+        }
+        *cache.counts[class].get() -= 1;
+        write_header(payload, encode_header(class, idx));
+        self.stats.on_alloc(block_size as u64);
+        Some(NonNull::new_unchecked(payload))
+    }
+
+    unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+        charge_cost(Cost::FreeFast);
+        let header = read_header(ptr.as_ptr());
+        match header.tag {
+            Tag::Large => {
+                let size = large::free_large(&self.source, header.value);
+                self.stats.on_free(size as u64, false);
+            }
+            Tag::Baseline => {
+                let (class, origin) = decode_header(header);
+                let block_size = self.classes.class(class).block_size as u64;
+                // Freeing-thread cache; the block never returns to the
+                // central region.
+                let idx = self.my_cache();
+                let cache = &self.caches[idx];
+                let _guard = cache.lock.lock();
+                write_header(ptr.as_ptr(), encode_header(class, idx));
+                cache.heap.push(class, ptr.as_ptr());
+                *cache.counts[class].get() += 1;
+                if *cache.counts[class].get() >= CACHE_LIMIT {
+                    self.return_surplus(cache, class);
+                }
+                self.stats.on_free(block_size, origin != idx);
+            }
+            _ => unreachable!("pointer was not allocated by MtLikeAllocator"),
+        }
+    }
+
+    fn stats(&self) -> AllocSnapshot {
+        self.stats.snapshot().with_source(self.source.stats())
+    }
+
+    unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
+        let header = read_header(ptr.as_ptr());
+        match header.tag {
+            Tag::Large => large::large_size(header.value),
+            Tag::Baseline => self.classes.class(decode_header(header).0).block_size as usize,
+            _ => unreachable!("pointer was not allocated by MtLikeAllocator"),
+        }
+    }
+}
+
+impl<Src: ChunkSource> Drop for MtLikeAllocator<Src> {
+    fn drop(&mut self) {
+        self.chunks.release_all(&self.source);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip_and_refill_batches() {
+        let a = MtLikeAllocator::new();
+        unsafe {
+            let p = a.allocate(100).unwrap();
+            std::ptr::write_bytes(p.as_ptr(), 3, 100);
+            a.deallocate(p);
+        }
+        assert_eq!(a.stats().live_current, 0);
+        let (acq, _) = a.central_contention();
+        assert_eq!(acq, 1, "one refill batch served the allocation");
+        // The next allocations of the same class hit the cache.
+        unsafe {
+            for _ in 0..REFILL_BATCH - 1 {
+                let p = a.allocate(100).unwrap();
+                a.deallocate(p);
+            }
+        }
+        assert_eq!(a.central_contention().0, 1, "cache absorbed the churn");
+    }
+
+    #[test]
+    fn refills_serialize_on_the_central_lock() {
+        let a = Arc::new(MtLikeAllocator::with_caches(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    // Allocate without freeing: every REFILL_BATCH
+                    // allocations force a central refill.
+                    let ptrs: Vec<usize> = (0..400)
+                        .map(|_| unsafe { a.allocate(64) }.unwrap().as_ptr() as usize)
+                        .collect();
+                    for p in ptrs {
+                        unsafe { a.deallocate(NonNull::new_unchecked(p as *mut u8)) };
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (acq, _) = a.central_contention();
+        assert!(
+            acq >= (8 * 400 / REFILL_BATCH) as u64,
+            "each batch requires the central lock (got {acq})"
+        );
+        assert_eq!(a.stats().live_current, 0);
+    }
+
+    #[test]
+    fn caches_never_shrink() {
+        // Free a lot into one cache; the held footprint stays.
+        let a = MtLikeAllocator::new();
+        unsafe {
+            let ptrs: Vec<usize> = (0..1000)
+                .map(|_| a.allocate(128).unwrap().as_ptr() as usize)
+                .collect();
+            let held = a.stats().held_current;
+            for p in ptrs {
+                a.deallocate(NonNull::new_unchecked(p as *mut u8));
+            }
+            assert_eq!(a.stats().held_current, held, "mtmalloc-style: no release");
+        }
+    }
+
+    #[test]
+    fn cross_thread_free_reuses_in_the_freeing_cache() {
+        let a = Arc::new(MtLikeAllocator::with_caches(8));
+        let p = unsafe { a.allocate(64) }.unwrap().as_ptr() as usize;
+        let a2 = Arc::clone(&a);
+        let reused = std::thread::spawn(move || unsafe {
+            a2.deallocate(NonNull::new_unchecked(p as *mut u8));
+            a2.allocate(64).unwrap().as_ptr() as usize
+        })
+        .join()
+        .unwrap();
+        assert_eq!(reused, p, "freeing thread's next malloc reuses the block");
+    }
+}

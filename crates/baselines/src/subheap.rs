@@ -1,0 +1,233 @@
+//! Shared machinery for the baseline allocators: a simple segregated
+//! free-list heap carving blocks out of coarse chunks, plus the chunk
+//! registry that returns everything to the source on drop.
+//!
+//! Unlike Hoard's superblocks, a `SubHeap` never tracks per-region
+//! occupancy and never gives memory back — precisely the property that
+//! produces the taxonomy's blowup behaviors.
+
+use hoard_mem::{align_up, ChunkSource, HeaderWord, Tag, HEADER_SIZE, MAX_CLASSES};
+use std::alloc::Layout;
+use std::cell::UnsafeCell;
+use std::ptr::NonNull;
+use std::sync::Mutex;
+
+/// Encode a baseline block header: size class and owning heap index.
+pub(crate) fn encode_header(class: usize, heap: usize) -> HeaderWord {
+    debug_assert!(class < 256 && heap < 256);
+    HeaderWord::from_int(Tag::Baseline, (class << 8) | heap)
+}
+
+/// Decode `(class, heap)` from a baseline header.
+pub(crate) fn decode_header(word: HeaderWord) -> (usize, usize) {
+    let int = word.to_int();
+    (int >> 8, int & 0xFF)
+}
+
+/// A single segregated heap: per-class LIFO free lists plus a bump
+/// cursor into the current chunk. All access requires the owner's
+/// external lock.
+pub(crate) struct SubHeap {
+    free: [UnsafeCell<*mut u8>; MAX_CLASSES],
+    cursor: UnsafeCell<*mut u8>,
+    end: UnsafeCell<*mut u8>,
+}
+
+// Safety: every method is documented to require the owning allocator's
+// lock; the cells are never accessed without it.
+unsafe impl Send for SubHeap {}
+unsafe impl Sync for SubHeap {}
+
+impl SubHeap {
+    pub(crate) fn new() -> Self {
+        SubHeap {
+            free: [const { UnsafeCell::new(std::ptr::null_mut()) }; MAX_CLASSES],
+            cursor: UnsafeCell::new(std::ptr::null_mut()),
+            end: UnsafeCell::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Pop a freed block of `class`, or null.
+    ///
+    /// # Safety
+    ///
+    /// Owner's lock held.
+    pub(crate) unsafe fn pop(&self, class: usize) -> *mut u8 {
+        let head = *self.free[class].get();
+        if !head.is_null() {
+            *self.free[class].get() = (head as *mut *mut u8).read();
+        }
+        head
+    }
+
+    /// Push a block payload onto `class`'s free list.
+    ///
+    /// # Safety
+    ///
+    /// Owner's lock held; `payload` is a dead block of that class with
+    /// at least 8 writable bytes.
+    pub(crate) unsafe fn push(&self, class: usize, payload: *mut u8) {
+        (payload as *mut *mut u8).write(*self.free[class].get());
+        *self.free[class].get() = payload;
+    }
+
+    /// Carve a fresh block of `block_size` from the current chunk;
+    /// returns null when the chunk is exhausted (caller must
+    /// [`add_chunk`](Self::add_chunk) and retry).
+    ///
+    /// # Safety
+    ///
+    /// Owner's lock held.
+    pub(crate) unsafe fn carve(&self, block_size: usize) -> *mut u8 {
+        let stride = align_up(block_size, 8) + HEADER_SIZE;
+        let cur = *self.cursor.get();
+        let end = *self.end.get();
+        if cur.is_null() || (cur as usize) + stride > end as usize {
+            return std::ptr::null_mut();
+        }
+        *self.cursor.get() = cur.add(stride);
+        cur.add(HEADER_SIZE)
+    }
+
+    /// Install a fresh chunk as the carving region.
+    ///
+    /// # Safety
+    ///
+    /// Owner's lock held; `chunk..chunk+len` exclusively owned.
+    pub(crate) unsafe fn add_chunk(&self, chunk: *mut u8, len: usize) {
+        *self.cursor.get() = chunk;
+        *self.end.get() = chunk.add(len);
+    }
+
+    /// Whether the current carving chunk can fit another `block_size`
+    /// block (telemetry for tests).
+    ///
+    /// # Safety
+    ///
+    /// Owner's lock held.
+    #[cfg_attr(not(test), allow(dead_code))] // test helper
+    pub(crate) unsafe fn can_carve(&self, block_size: usize) -> bool {
+        let stride = align_up(block_size, 8) + HEADER_SIZE;
+        let cur = *self.cursor.get();
+        !cur.is_null() && (cur as usize) + stride <= *self.end.get() as usize
+    }
+}
+
+/// A lock + subheap pair, cache-line padded so arenas of different
+/// threads do not false-share their lock words.
+#[repr(align(64))]
+pub(crate) struct Arena {
+    pub lock: hoard_sim::VLock,
+    pub heap: SubHeap,
+}
+
+impl Arena {
+    pub(crate) fn new() -> Self {
+        Arena {
+            lock: hoard_sim::VLock::new(),
+            heap: SubHeap::new(),
+        }
+    }
+}
+
+/// Records every chunk an allocator obtained so `Drop` can return them.
+pub(crate) struct ChunkRegistry {
+    chunks: Mutex<Vec<(usize, Layout)>>,
+}
+
+impl ChunkRegistry {
+    pub(crate) fn new() -> Self {
+        ChunkRegistry {
+            chunks: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocate a chunk from `source`, register it, return it.
+    pub(crate) fn alloc_chunk<Src: ChunkSource>(
+        &self,
+        source: &Src,
+        size: usize,
+    ) -> Option<NonNull<u8>> {
+        let layout = Layout::from_size_align(size, 4096).expect("chunk layout");
+        let chunk = unsafe { source.alloc_chunk(layout) }?;
+        self.chunks
+            .lock()
+            .expect("chunk registry poisoned")
+            .push((chunk.as_ptr() as usize, layout));
+        Some(chunk)
+    }
+
+    /// Return every registered chunk to `source`.
+    pub(crate) fn release_all<Src: ChunkSource>(&self, source: &Src) {
+        let mut chunks = self.chunks.lock().expect("chunk registry poisoned");
+        for (addr, layout) in chunks.drain(..) {
+            unsafe {
+                source.free_chunk(NonNull::new_unchecked(addr as *mut u8), layout);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_mem::SystemSource;
+
+    #[test]
+    fn header_encoding_roundtrip() {
+        for class in [0usize, 1, 55, 255] {
+            for heap in [0usize, 7, 255] {
+                let w = encode_header(class, heap);
+                assert_eq!(decode_header(w), (class, heap));
+                assert_eq!(w.tag, Tag::Baseline);
+            }
+        }
+    }
+
+    #[test]
+    fn carve_then_recycle() {
+        let src = SystemSource::new();
+        let reg = ChunkRegistry::new();
+        let heap = SubHeap::new();
+        unsafe {
+            assert!(heap.carve(64).is_null(), "no chunk yet");
+            let chunk = reg.alloc_chunk(&src, 4096).unwrap();
+            heap.add_chunk(chunk.as_ptr(), 4096);
+            let a = heap.carve(64);
+            let b = heap.carve(64);
+            assert!(!a.is_null() && !b.is_null());
+            assert_eq!(b as usize - a as usize, 64 + HEADER_SIZE);
+            std::ptr::write_bytes(a, 0xAA, 64);
+            std::ptr::write_bytes(b, 0xBB, 64);
+            assert_eq!(*a, 0xAA, "carved blocks are disjoint");
+            // Recycle through the free list.
+            heap.push(3, a);
+            heap.push(3, b);
+            assert_eq!(heap.pop(3), b, "LIFO");
+            assert_eq!(heap.pop(3), a);
+            assert!(heap.pop(3).is_null());
+        }
+        reg.release_all(&src);
+        assert_eq!(src.stats().held_current, 0);
+    }
+
+    #[test]
+    fn carve_exhausts_cleanly() {
+        let src = SystemSource::new();
+        let reg = ChunkRegistry::new();
+        let heap = SubHeap::new();
+        unsafe {
+            let chunk = reg.alloc_chunk(&src, 4096).unwrap();
+            heap.add_chunk(chunk.as_ptr(), 4096);
+            let mut n = 0;
+            while heap.can_carve(1000) {
+                assert!(!heap.carve(1000).is_null());
+                n += 1;
+            }
+            // stride = align8(1000) + 8 = 1008; 4096 / 1008 = 4 blocks.
+            assert_eq!(n, 4);
+            assert!(heap.carve(1000).is_null(), "exhausted chunk returns null");
+        }
+        reg.release_all(&src);
+    }
+}

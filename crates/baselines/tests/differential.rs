@@ -1,0 +1,122 @@
+//! Property-based differential testing of the baseline allocators: a
+//! shared model (a map of live blocks) checks every allocator against
+//! the same randomly generated traces, verifying non-overlap, content
+//! integrity, usable-size contracts, and exact accounting.
+
+use hoard_baselines::{
+    MtLikeAllocator, OwnershipAllocator, PurePrivateAllocator, SerialAllocator,
+};
+use hoard_mem::MtAllocator;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ptr::NonNull;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(usize),
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (1usize..=2000).prop_map(Op::Alloc),
+            1 => (4001usize..=20_000).prop_map(Op::Alloc), // large path
+            4 => any::<usize>().prop_map(Op::Free),
+        ],
+        1..200,
+    )
+}
+
+fn check(alloc: &dyn MtAllocator, trace: &[Op]) -> Result<(), TestCaseError> {
+    // Model: payload address -> (size, fill byte). BTreeMap gives
+    // deterministic overlap queries via range scans.
+    let mut model: BTreeMap<usize, (usize, u8)> = BTreeMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut stamp = 0u8;
+    for op in trace {
+        match op {
+            Op::Alloc(size) => {
+                stamp = stamp.wrapping_add(1);
+                let p = unsafe { alloc.allocate(*size) }.expect("allocation");
+                let addr = p.as_ptr() as usize;
+                prop_assert_eq!(addr % 8, 0, "{}: alignment", alloc.name());
+                prop_assert!(
+                    unsafe { alloc.usable_size(p) } >= *size,
+                    "{}: usable_size",
+                    alloc.name()
+                );
+                // Overlap check against the model: nearest block below
+                // must end before us; we must end before the next above.
+                if let Some((&prev_addr, &(prev_size, _))) =
+                    model.range(..=addr).next_back()
+                {
+                    prop_assert!(
+                        prev_addr + prev_size <= addr,
+                        "{}: overlaps predecessor",
+                        alloc.name()
+                    );
+                }
+                if let Some((&next_addr, _)) = model.range(addr + 1..).next() {
+                    prop_assert!(
+                        addr + size <= next_addr,
+                        "{}: overlaps successor",
+                        alloc.name()
+                    );
+                }
+                unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, *size) };
+                model.insert(addr, (*size, stamp));
+                order.push(addr);
+            }
+            Op::Free(pick) => {
+                if order.is_empty() {
+                    continue;
+                }
+                let addr = order.swap_remove(pick % order.len());
+                let (size, fill) = model.remove(&addr).expect("model holds it");
+                for off in (0..size).step_by(61) {
+                    prop_assert_eq!(
+                        unsafe { *(addr as *const u8).add(off) },
+                        fill,
+                        "{}: corruption",
+                        alloc.name()
+                    );
+                }
+                unsafe {
+                    alloc.deallocate(NonNull::new_unchecked(addr as *mut u8));
+                }
+            }
+        }
+    }
+    for addr in order {
+        unsafe { alloc.deallocate(NonNull::new_unchecked(addr as *mut u8)) };
+    }
+    let snap = alloc.stats();
+    prop_assert_eq!(snap.live_current, 0, "{}: leak", alloc.name());
+    prop_assert_eq!(snap.allocs, snap.frees, "{}: op imbalance", alloc.name());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serial_model_checked(trace in ops()) {
+        check(&SerialAllocator::new(), &trace)?;
+    }
+
+    #[test]
+    fn pure_private_model_checked(trace in ops()) {
+        check(&PurePrivateAllocator::new(), &trace)?;
+    }
+
+    #[test]
+    fn ownership_model_checked(trace in ops()) {
+        check(&OwnershipAllocator::new(), &trace)?;
+    }
+
+    #[test]
+    fn mtlike_model_checked(trace in ops()) {
+        check(&MtLikeAllocator::new(), &trace)?;
+    }
+}

@@ -1,0 +1,119 @@
+//! Design-choice ablations for Hoard (experiment E12 in bench form):
+//! sweep `f`, `K`, `S`, the heap count, and the OS-release flag on the
+//! allocator-bound workloads, measuring virtual makespans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoard_bench::measure_virtual;
+use hoard_core::HoardConfig;
+use hoard_harness::AllocatorKind;
+use hoard_mem::MtAllocator;
+use hoard_workloads as wl;
+
+const P: usize = 8;
+
+fn run_threadtest(a: &dyn MtAllocator) -> wl::WorkloadResult {
+    let params = wl::threadtest::Params {
+        total_objects: 20_000,
+        ..Default::default()
+    };
+    wl::threadtest::run(a, P, &params)
+}
+
+fn run_larson(a: &dyn MtAllocator) -> wl::WorkloadResult {
+    let params = wl::larson::Params {
+        ops_per_round: 1_000,
+        slots_per_thread: 200,
+        ..Default::default()
+    };
+    wl::larson::run(a, P, &params)
+}
+
+fn sweep_config(
+    c: &mut Criterion,
+    group_name: &str,
+    configs: &[(String, HoardConfig)],
+    workload: &dyn Fn(&dyn MtAllocator) -> wl::WorkloadResult,
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (label, cfg) in configs {
+        let kind = AllocatorKind::Hoard(*cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(label), cfg, |b, _| {
+            b.iter_custom(|iters| measure_virtual(iters, &|| kind.build(), workload))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_empty_fraction(c: &mut Criterion) {
+    let configs: Vec<_> = [(1usize, 8usize), (1, 4), (1, 2)]
+        .iter()
+        .map(|&(n, d)| {
+            (
+                format!("f_{n}_{d}"),
+                HoardConfig::new().with_empty_fraction(n, d),
+            )
+        })
+        .collect();
+    sweep_config(c, "ablate_f_threadtest", &configs, &run_threadtest);
+    sweep_config(c, "ablate_f_larson", &configs, &run_larson);
+}
+
+fn ablate_slack(c: &mut Criterion) {
+    let configs: Vec<_> = [0usize, 1, 2, 8]
+        .iter()
+        .map(|&k| (format!("K_{k}"), HoardConfig::new().with_slack(k)))
+        .collect();
+    sweep_config(c, "ablate_k_threadtest", &configs, &run_threadtest);
+    sweep_config(c, "ablate_k_larson", &configs, &run_larson);
+}
+
+fn ablate_superblock_size(c: &mut Criterion) {
+    let configs: Vec<_> = [4096usize, 8192, 16384, 32768]
+        .iter()
+        .map(|&s| {
+            (
+                format!("S_{}k", s / 1024),
+                HoardConfig::new().with_superblock_size(s),
+            )
+        })
+        .collect();
+    sweep_config(c, "ablate_s_threadtest", &configs, &run_threadtest);
+}
+
+fn ablate_heap_count(c: &mut Criterion) {
+    let configs: Vec<_> = [4usize, 8, 16, 32]
+        .iter()
+        .map(|&p| (format!("heaps_{p}"), HoardConfig::new().with_heap_count(p)))
+        .collect();
+    sweep_config(c, "ablate_heaps_threadtest", &configs, &run_threadtest);
+}
+
+fn ablate_os_release(c: &mut Criterion) {
+    let configs = vec![
+        ("park_in_global".to_string(), HoardConfig::new()),
+        (
+            "release_to_os".to_string(),
+            HoardConfig::new().with_release_empty_to_os(true),
+        ),
+    ];
+    sweep_config(c, "ablate_os_release_threadtest", &configs, &run_threadtest);
+}
+
+criterion_group! {
+    name = ablations;
+    // Virtual-time measurements are deterministic (zero variance);
+    // the plotters backend panics on degenerate ranges, so plots
+    // are disabled and reports stay textual.
+    config = Criterion::default().without_plots();
+    targets =
+    ablate_empty_fraction,
+    ablate_slack,
+    ablate_superblock_size,
+    ablate_heap_count,
+    ablate_os_release
+
+}
+criterion_main!(ablations);

@@ -1,0 +1,112 @@
+//! Real wall-clock micro-benchmarks of allocator hot paths — the bench
+//! form of the uniprocessor-overhead comparison (experiment E10).
+//!
+//! These run on the host clock (valid on one CPU): single-thread
+//! `malloc`/`free` pairs, LIFO batch churn, mixed size-class traffic,
+//! and large-object round-trips, for every allocator in the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hoard_harness::AllocatorKind;
+use std::hint::black_box;
+
+fn tune(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+}
+
+fn bench_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_alloc_free_pair");
+    tune(&mut group);
+    group.throughput(Throughput::Elements(1));
+    for kind in AllocatorKind::sweep() {
+        for size in [8usize, 64, 512] {
+            let alloc = kind.build();
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size),
+                &size,
+                |b, &size| {
+                    b.iter(|| unsafe {
+                        let p = alloc.allocate(black_box(size)).unwrap();
+                        alloc.deallocate(black_box(p));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_churn(c: &mut Criterion) {
+    const BATCH: usize = 100;
+    let mut group = c.benchmark_group("micro_batch_churn");
+    tune(&mut group);
+    group.throughput(Throughput::Elements(2 * BATCH as u64));
+    for kind in AllocatorKind::sweep() {
+        let alloc = kind.build();
+        group.bench_function(kind.label(), |b| {
+            let mut ptrs = Vec::with_capacity(BATCH);
+            b.iter(|| unsafe {
+                for _ in 0..BATCH {
+                    ptrs.push(alloc.allocate(black_box(64)).unwrap());
+                }
+                for p in ptrs.drain(..) {
+                    alloc.deallocate(p);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_sizes(c: &mut Criterion) {
+    let sizes: Vec<usize> = (0..64).map(|i| 1 + (i * 97) % 1000).collect();
+    let mut group = c.benchmark_group("micro_mixed_sizes");
+    tune(&mut group);
+    group.throughput(Throughput::Elements(2 * sizes.len() as u64));
+    for kind in AllocatorKind::sweep() {
+        let alloc = kind.build();
+        group.bench_function(kind.label(), |b| {
+            let mut ptrs = Vec::with_capacity(sizes.len());
+            b.iter(|| unsafe {
+                for &s in &sizes {
+                    ptrs.push(alloc.allocate(black_box(s)).unwrap());
+                }
+                for p in ptrs.drain(..) {
+                    alloc.deallocate(p);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_objects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_large_object");
+    tune(&mut group);
+    for kind in AllocatorKind::sweep() {
+        let alloc = kind.build();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| unsafe {
+                let p = alloc.allocate(black_box(100_000)).unwrap();
+                alloc.deallocate(p);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    // Virtual-time measurements are deterministic (zero variance);
+    // the plotters backend panics on degenerate ranges, so plots
+    // are disabled and reports stay textual.
+    config = Criterion::default().without_plots();
+    targets =
+    bench_pair,
+    bench_batch_churn,
+    bench_mixed_sizes,
+    bench_large_objects
+
+}
+criterion_main!(micro);

@@ -1,0 +1,122 @@
+//! Virtual-time speedup curves — the bench form of the paper's
+//! scalability figures (experiments E2–E8).
+//!
+//! Each group is one figure; each benchmark id is
+//! `<allocator>/P<threads>`. Values are virtual makespans reported as
+//! nanoseconds (1 virtual unit = 1 ns), so `P1 time / P14 time` read off
+//! a Criterion report *is* the figure's speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoard_bench::measure_virtual;
+use hoard_harness::AllocatorKind;
+use hoard_mem::MtAllocator;
+use hoard_workloads as wl;
+use hoard_workloads::WorkloadResult;
+
+const THREADS: &[usize] = &[1, 8, 14];
+
+fn sweep(
+    c: &mut Criterion,
+    figure: &str,
+    run: &dyn Fn(&dyn MtAllocator, usize) -> WorkloadResult,
+) {
+    let mut group = c.benchmark_group(figure);
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for kind in AllocatorKind::sweep() {
+        for &p in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("P{p}")),
+                &p,
+                |b, &p| {
+                    b.iter_custom(|iters| {
+                        measure_virtual(iters, &|| kind.build(), &|a| run(a, p))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_threadtest(c: &mut Criterion) {
+    let params = wl::threadtest::Params {
+        total_objects: 20_000,
+        ..Default::default()
+    };
+    sweep(c, "e2_threadtest", &|a, p| wl::threadtest::run(a, p, &params));
+}
+
+fn bench_shbench(c: &mut Criterion) {
+    let params = wl::shbench::Params {
+        total_ops: 8_000,
+        ..Default::default()
+    };
+    sweep(c, "e3_shbench", &|a, p| wl::shbench::run(a, p, &params));
+}
+
+fn bench_larson(c: &mut Criterion) {
+    let params = wl::larson::Params {
+        ops_per_round: 1_000,
+        slots_per_thread: 200,
+        ..Default::default()
+    };
+    sweep(c, "e4_larson", &|a, p| wl::larson::run(a, p, &params));
+}
+
+fn bench_active_false(c: &mut Criterion) {
+    let params = wl::false_sharing::Params {
+        total_writes: 30_000,
+        ..Default::default()
+    };
+    sweep(c, "e5_active_false", &|a, p| {
+        wl::false_sharing::active_false(a, p, &params)
+    });
+}
+
+fn bench_passive_false(c: &mut Criterion) {
+    let params = wl::false_sharing::Params {
+        total_writes: 30_000,
+        ..Default::default()
+    };
+    sweep(c, "e6_passive_false", &|a, p| {
+        wl::false_sharing::passive_false(a, p, &params)
+    });
+}
+
+fn bench_barnes_hut(c: &mut Criterion) {
+    let params = wl::barnes_hut::Params {
+        bodies: 600,
+        steps: 2,
+        ..Default::default()
+    };
+    sweep(c, "e7_barnes_hut", &|a, p| wl::barnes_hut::run(a, p, &params));
+}
+
+fn bench_bem(c: &mut Criterion) {
+    let params = wl::bem_like::Params {
+        phases: 2,
+        solve_iters_total: 400,
+        ..Default::default()
+    };
+    sweep(c, "e8_bem_like", &|a, p| wl::bem_like::run(a, p, &params));
+}
+
+criterion_group! {
+    name = figures;
+    // Virtual-time measurements are deterministic (zero variance);
+    // the plotters backend panics on degenerate ranges, so plots
+    // are disabled and reports stay textual.
+    config = Criterion::default().without_plots();
+    targets =
+    bench_threadtest,
+    bench_shbench,
+    bench_larson,
+    bench_active_false,
+    bench_passive_false,
+    bench_barnes_hut,
+    bench_bem,
+
+}
+criterion_main!(figures);

@@ -1,0 +1,72 @@
+//! # hoard-bench — Criterion benchmarks for the reproduction
+//!
+//! Three bench binaries live under `benches/`:
+//!
+//! * `speedup_curves` — one group per paper figure (`e2`..`e8`): every
+//!   allocator × thread count, reported in **virtual time** (the
+//!   simulated machine's makespan, encoded as nanoseconds via
+//!   `iter_custom`), so Criterion's statistics and comparisons apply to
+//!   the same quantity the paper plots.
+//! * `alloc_micro` — real wall-clock micro-benchmarks of the allocator
+//!   hot paths (single-thread `malloc`/`free`, batch churn, mixed
+//!   sizes), the uniprocessor-overhead complement (experiment E10).
+//! * `ablations` — Hoard design-parameter sweeps (`f`, `K`, `S`,
+//!   fullness-group policy effects) in virtual time (experiment E12's
+//!   bench form).
+//!
+//! This library hosts the small shared helpers.
+
+use hoard_mem::MtAllocator;
+use hoard_workloads::WorkloadResult;
+use std::time::Duration;
+
+/// Convert a virtual-time makespan to a [`Duration`] (1 unit = 1 ns) so
+/// Criterion can aggregate it via `iter_custom`.
+pub fn vtime(makespan: u64) -> Duration {
+    Duration::from_nanos(makespan)
+}
+
+/// Run `workload` `iters` times on fresh allocators from `factory`,
+/// summing virtual makespans (the `iter_custom` contract).
+pub fn measure_virtual(
+    iters: u64,
+    factory: &dyn Fn() -> Box<dyn MtAllocator>,
+    workload: &dyn Fn(&dyn MtAllocator) -> WorkloadResult,
+) -> Duration {
+    let mut total = 0u64;
+    for _ in 0..iters {
+        let alloc = factory();
+        total += workload(&*alloc).makespan;
+    }
+    vtime(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtime_maps_units_to_nanos() {
+        assert_eq!(vtime(1234).as_nanos(), 1234);
+    }
+
+    #[test]
+    fn measure_virtual_sums_runs() {
+        let factory = || -> Box<dyn MtAllocator> {
+            Box::new(hoard_core::HoardAllocator::new_default())
+        };
+        let params = hoard_workloads::threadtest::Params {
+            total_objects: 500,
+            batch: 50,
+            size: 8,
+            work_per_object: 10,
+        };
+        let one = measure_virtual(1, &factory, &|a| {
+            hoard_workloads::threadtest::run(a, 2, &params)
+        });
+        let three = measure_virtual(3, &factory, &|a| {
+            hoard_workloads::threadtest::run(a, 2, &params)
+        });
+        assert!(three > one, "summing over iterations");
+    }
+}

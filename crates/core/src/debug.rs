@@ -1,0 +1,312 @@
+//! Validation and introspection for tests and the property suite.
+//!
+//! [`validate`] takes every heap lock (global last, matching the
+//! allocator's lock order) and performs a full consistency scan:
+//! accounting (`u`/`a` versus the superblocks actually linked), list
+//! placement (each superblock in the fullness group matching its
+//! occupancy), and the emptiness-invariant postcondition. It is O(heap
+//! contents) and meant for tests, not production paths.
+
+use crate::hoard::HoardAllocator;
+use crate::superblock::Superblock;
+use hoard_mem::ChunkSource;
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Observation of one heap during [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapObservation {
+    /// Heap index (0 = global).
+    pub index: usize,
+    /// Bytes in use per the heap's counter.
+    pub u: u64,
+    /// Bytes held per the heap's counter.
+    pub a: u64,
+    /// Superblocks linked in the heap.
+    pub superblocks: usize,
+    /// Whether the paper's emptiness invariant `u ≥ a − K·S ∨ u ≥ (1−f)·a`
+    /// holds (always reported; only *meaningful* for per-processor heaps).
+    pub invariant_holds: bool,
+    /// Whether the heap still owns a superblock that is at least
+    /// `f`-empty (if the invariant is violated, this must be false — the
+    /// implementation's postcondition).
+    pub has_f_empty_superblock: bool,
+}
+
+/// Result of a full-allocator consistency scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validation {
+    /// Per-heap observations (index 0 = global heap), only heaps in use.
+    pub heaps: Vec<HeapObservation>,
+    /// Human-readable consistency violations (empty = consistent).
+    pub errors: Vec<String>,
+}
+
+impl Validation {
+    /// Whether the scan found no internal inconsistency. (The emptiness
+    /// invariant is reported per heap in [`HeapObservation`] but is not a
+    /// consistency requirement between f-emptiness crossings — see the
+    /// hysteresis discussion in `hoard.rs`.)
+    pub fn is_consistent(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Sum of `u` over all heaps (block-size bytes in use).
+    pub fn total_u(&self) -> u64 {
+        self.heaps.iter().map(|h| h.u).sum()
+    }
+
+    /// Sum of `a` over all heaps (bytes held in superblocks).
+    pub fn total_a(&self) -> u64 {
+        self.heaps.iter().map(|h| h.a).sum()
+    }
+}
+
+/// Aggregated per-size-class usage across all heaps (including the
+/// global heap): how many superblocks serve each class and how full they
+/// are. The view behind fragmentation diagnostics — a class with many
+/// superblocks and few live blocks is where the held-vs-live gap lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassUsage {
+    /// Size class index.
+    pub class: usize,
+    /// Payload bytes per block.
+    pub block_size: u32,
+    /// Superblocks currently formatted for this class.
+    pub superblocks: usize,
+    /// Live blocks across those superblocks.
+    pub blocks_in_use: u64,
+    /// Total block capacity across those superblocks.
+    pub capacity: u64,
+}
+
+impl ClassUsage {
+    /// Occupancy fraction (`0.0..=1.0`); 0 for an unused class.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.blocks_in_use as f64 / self.capacity as f64
+        }
+    }
+}
+
+/// Scan per-class usage. Takes all heap locks (quiescent points only,
+/// like [`validate`]).
+pub fn class_usage<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Vec<ClassUsage> {
+    let cfg = *alloc.config();
+    let table = alloc.size_classes();
+    let mut usage: Vec<ClassUsage> = (0..table.len())
+        .map(|i| ClassUsage {
+            class: i,
+            block_size: table.class(i).block_size,
+            superblocks: 0,
+            blocks_in_use: 0,
+            capacity: 0,
+        })
+        .collect();
+    for (index, heap) in alloc.heaps().iter().enumerate() {
+        if index > cfg.heap_count {
+            break;
+        }
+        let _guard = heap.lock.lock();
+        unsafe {
+            heap.for_each_superblock(|sb| {
+                let entry = &mut usage[(*sb).class as usize];
+                entry.superblocks += 1;
+                entry.blocks_in_use += (*sb).in_use as u64;
+                entry.capacity += (*sb).capacity as u64;
+            });
+        }
+    }
+    usage.retain(|u| u.superblocks > 0);
+    usage
+}
+
+/// Owning heap index of a live small block (`None` for large objects).
+///
+/// Reads the superblock's `owner` without a lock; meaningful only at
+/// quiescent points or in single-threaded tests (ownership may change
+/// concurrently otherwise).
+///
+/// # Safety
+///
+/// `ptr` must be a live block previously returned by `alloc`.
+pub unsafe fn block_owner<Src: ChunkSource>(
+    _alloc: &HoardAllocator<Src>,
+    ptr: std::ptr::NonNull<u8>,
+) -> Option<usize> {
+    let header = hoard_mem::read_header(ptr.as_ptr());
+    match header.tag {
+        hoard_mem::Tag::Superblock => {
+            Some(Superblock::owner(header.value as *mut Superblock))
+        }
+        _ => None,
+    }
+}
+
+/// Scan `alloc` for internal consistency. Takes all heap locks; do not
+/// call concurrently with a thread that holds one (it would deadlock on
+/// the global heap only if that thread also waits on a scanned heap —
+/// tests call this at quiescent points).
+pub fn validate<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Validation {
+    let cfg = *alloc.config();
+    let mut heaps = Vec::new();
+    let mut errors = Vec::new();
+
+    for (index, heap) in alloc.heaps().iter().enumerate() {
+        if index > cfg.heap_count {
+            break;
+        }
+        let _guard = heap.lock.lock();
+        let u = heap.u.load(Relaxed);
+        let a = heap.a.load(Relaxed);
+
+        let mut scanned_used = 0u64;
+        let mut scanned_usable = 0u64;
+        let mut scanned_count = 0usize;
+        let mut has_f_empty = false;
+        unsafe {
+            heap.for_each_superblock(|sb| {
+                scanned_count += 1;
+                scanned_used += Superblock::used_bytes(sb);
+                scanned_usable += Superblock::usable_bytes(sb);
+                if (*sb).magic != crate::superblock::SB_MAGIC {
+                    errors.push(format!("heap {index}: superblock with bad magic"));
+                }
+                if Superblock::owner(sb) != index {
+                    errors.push(format!(
+                        "heap {index}: linked superblock owned by {}",
+                        Superblock::owner(sb)
+                    ));
+                }
+                if cfg.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+                    has_f_empty = true;
+                }
+                if (*sb).in_use > (*sb).capacity {
+                    errors.push(format!("heap {index}: in_use exceeds capacity"));
+                }
+                // Group placement: superblocks on bins must match their
+                // occupancy group; empty-list ones carry the sentinel.
+                let group = (*sb).group;
+                if group != u8::MAX {
+                    let expect = Superblock::fullness_group(sb);
+                    if group as usize != expect {
+                        errors.push(format!(
+                            "heap {index}: superblock in group {group}, expected {expect}"
+                        ));
+                    }
+                    if (*sb).in_use == 0 {
+                        errors.push(format!(
+                            "heap {index}: drained superblock still in a fullness bin"
+                        ));
+                    }
+                } else if (*sb).in_use != 0 {
+                    errors.push(format!(
+                        "heap {index}: non-empty superblock on the empty list"
+                    ));
+                }
+            });
+        }
+
+        if scanned_used != u {
+            errors.push(format!(
+                "heap {index}: u counter {u} != scanned used bytes {scanned_used}"
+            ));
+        }
+        if scanned_usable != a {
+            errors.push(format!(
+                "heap {index}: a counter {a} != scanned usable bytes {scanned_usable}"
+            ));
+        }
+
+        heaps.push(HeapObservation {
+            index,
+            u,
+            a,
+            superblocks: scanned_count,
+            invariant_holds: !cfg.invariant_violated(u, a),
+            has_f_empty_superblock: has_f_empty,
+        });
+    }
+
+    Validation { heaps, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_mem::MtAllocator;
+
+    #[test]
+    fn fresh_allocator_is_consistent() {
+        let h = HoardAllocator::new_default();
+        let v = validate(&h);
+        assert!(v.is_consistent(), "{:?}", v.errors);
+        assert_eq!(v.total_u(), 0);
+        assert_eq!(v.total_a(), 0);
+    }
+
+    #[test]
+    fn consistency_after_mixed_traffic() {
+        let h = HoardAllocator::new_default();
+        let mut live = Vec::new();
+        unsafe {
+            for i in 0..2000usize {
+                let size = 8 + (i * 37) % 2048;
+                live.push(h.allocate(size).unwrap());
+                if i % 3 == 0 {
+                    let victim = live.swap_remove((i * 31) % live.len());
+                    h.deallocate(victim);
+                }
+            }
+        }
+        let v = validate(&h);
+        assert!(v.is_consistent(), "{:?}", v.errors);
+        assert!(v.total_u() > 0);
+        unsafe {
+            for p in live {
+                h.deallocate(p);
+            }
+        }
+        let v = validate(&h);
+        assert!(v.is_consistent(), "{:?}", v.errors);
+        assert_eq!(v.total_u(), 0, "all blocks returned");
+    }
+
+    #[test]
+    fn class_usage_reflects_live_blocks() {
+        let h = HoardAllocator::new_default();
+        unsafe {
+            let a = h.allocate(24).unwrap(); // 24-byte class
+            let b = h.allocate(24).unwrap();
+            let c = h.allocate(1000).unwrap(); // ~1040-byte class
+            let usage = class_usage(&h);
+            let small = usage.iter().find(|u| u.block_size == 24).expect("24B class");
+            assert_eq!(small.blocks_in_use, 2);
+            assert_eq!(small.superblocks, 1);
+            assert!(small.occupancy() > 0.0 && small.occupancy() < 1.0);
+            let big = usage
+                .iter()
+                .find(|u| u.block_size as usize >= 1000)
+                .expect("1000B class");
+            assert_eq!(big.blocks_in_use, 1);
+            h.deallocate(a);
+            h.deallocate(b);
+            h.deallocate(c);
+        }
+        // After frees the blocks are gone but (empty) superblocks may
+        // remain formatted for their classes.
+        let usage = class_usage(&h);
+        assert!(usage.iter().all(|u| u.blocks_in_use == 0));
+    }
+
+    #[test]
+    fn validation_reports_totals_matching_stats() {
+        let h = HoardAllocator::new_default();
+        unsafe {
+            let _p = h.allocate(100).unwrap();
+            let v = validate(&h);
+            assert_eq!(v.total_u(), h.stats().live_current);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Per-processor heaps (and the global heap, which is the same struct at
+//! index 0).
+//!
+//! A heap owns superblocks, organized per size class into **fullness
+//! groups** — the paper's policy of allocating from the *fullest*
+//! non-full superblock first, which densifies memory and lets empty
+//! superblocks surface for reuse or migration. Completely empty
+//! superblocks live on a separate per-heap list where any size class can
+//! recycle them (with a reformat).
+//!
+//! All fields except the lock and the `u`/`a` counters are touched only
+//! under [`Heap::lock`]; the atomics exist to make the struct `Sync` and
+//! cheaply snapshotable, not for lock-free algorithms.
+
+use crate::list;
+use crate::superblock::Superblock;
+use crate::FULLNESS_GROUPS;
+use hoard_mem::MAX_CLASSES;
+use hoard_sim::VLock;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel `group` value for superblocks on the empty list.
+const EMPTY_LIST: u8 = u8::MAX;
+
+/// One heap: lock, `u`/`a` accounting, per-class fullness groups and the
+/// empty-superblock recycle list. Cache-line aligned so neighboring
+/// heaps' locks do not false-share.
+#[repr(align(64))]
+pub(crate) struct Heap {
+    pub lock: VLock,
+    /// Bytes in use (`u_i`), in block-size units. Guarded by `lock`.
+    pub u: AtomicU64,
+    /// Bytes held (`a_i`): superblock_size × owned superblocks. Guarded.
+    pub a: AtomicU64,
+    /// `bins[class][group]`: list heads; group [`FULLNESS_GROUPS`] holds
+    /// completely full superblocks.
+    bins: [[AtomicPtr<Superblock>; FULLNESS_GROUPS + 1]; MAX_CLASSES],
+    /// Completely empty superblocks, recyclable by any class.
+    empty: AtomicPtr<Superblock>,
+    /// Length of `empty` (telemetry and eviction fast path).
+    pub empty_count: AtomicUsize,
+}
+
+impl Heap {
+    /// A fresh heap with no superblocks. `const` for static embedding.
+    pub const fn new() -> Self {
+        Heap {
+            lock: VLock::new(),
+            u: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            bins: [const { [const { AtomicPtr::new(ptr::null_mut()) }; FULLNESS_GROUPS + 1] };
+                MAX_CLASSES],
+            empty: AtomicPtr::new(ptr::null_mut()),
+            empty_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Link `sb` into the fullness group matching its occupancy.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `sb` live, unlinked, and its `class` within range.
+    pub unsafe fn link(&self, sb: *mut Superblock) {
+        let group = Superblock::fullness_group(sb);
+        (*sb).group = group as u8;
+        list::push_front(&self.bins[(*sb).class as usize][group], sb);
+    }
+
+    /// Unlink `sb` from whichever list it is on (fullness bin or empty
+    /// list).
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `sb` live and linked in this heap.
+    pub unsafe fn unlink(&self, sb: *mut Superblock) {
+        if (*sb).group == EMPTY_LIST {
+            list::remove(&self.empty, sb);
+            self.empty_count.fetch_sub(1, Ordering::Relaxed);
+        } else {
+            list::remove(&self.bins[(*sb).class as usize][(*sb).group as usize], sb);
+        }
+    }
+
+    /// Re-home `sb` after its occupancy changed: move it between fullness
+    /// groups, or onto the empty list when it drained completely.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `sb` live and linked in one of this heap's bins.
+    pub unsafe fn relink(&self, sb: *mut Superblock) {
+        debug_assert_ne!((*sb).group, EMPTY_LIST, "relink of an empty-list superblock");
+        if (*sb).in_use == 0 {
+            self.unlink(sb);
+            self.push_empty(sb);
+            return;
+        }
+        let new_group = Superblock::fullness_group(sb);
+        if new_group != (*sb).group as usize {
+            list::remove(&self.bins[(*sb).class as usize][(*sb).group as usize], sb);
+            (*sb).group = new_group as u8;
+            list::push_front(&self.bins[(*sb).class as usize][new_group], sb);
+        }
+    }
+
+    /// Place a superblock arriving from elsewhere (migration, fresh from
+    /// the OS): empty list if drained, fullness bin otherwise.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `sb` live and unlinked.
+    pub unsafe fn place(&self, sb: *mut Superblock) {
+        if (*sb).in_use == 0 {
+            self.push_empty(sb);
+        } else {
+            self.link(sb);
+        }
+    }
+
+    /// Push a drained superblock onto the empty list.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `sb` live, unlinked, `in_use == 0`.
+    pub unsafe fn push_empty(&self, sb: *mut Superblock) {
+        debug_assert_eq!((*sb).in_use, 0);
+        (*sb).group = EMPTY_LIST;
+        list::push_front(&self.empty, sb);
+        self.empty_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pop a superblock from the empty list (caller reformats if the
+    /// class differs), or null.
+    ///
+    /// # Safety
+    ///
+    /// Lock held.
+    pub unsafe fn pop_empty(&self) -> *mut Superblock {
+        let sb = list::pop_front(&self.empty);
+        if !sb.is_null() {
+            self.empty_count.fetch_sub(1, Ordering::Relaxed);
+            (*sb).group = 0;
+        }
+        sb
+    }
+
+    /// Find a superblock of `class` with at least one free block,
+    /// preferring the fullest (the paper's allocation policy). Returns a
+    /// superblock still linked in its bin, or null.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `class < MAX_CLASSES`.
+    pub unsafe fn find_with_free(&self, class: usize) -> *mut Superblock {
+        for group in (0..FULLNESS_GROUPS).rev() {
+            let head = self.bins[class][group].load(Ordering::Relaxed);
+            if !head.is_null() {
+                debug_assert!(Superblock::has_free(head));
+                return head;
+            }
+        }
+        ptr::null_mut()
+    }
+
+    /// Remove and return the emptiest superblock that is at least
+    /// `f`-empty (per `cfg`), for migration to the global heap; null when
+    /// none qualifies. Also returns its used bytes.
+    ///
+    /// # Safety
+    ///
+    /// Lock held.
+    pub unsafe fn take_emptiest(&self, cfg: &crate::HoardConfig) -> (*mut Superblock, u64) {
+        // Completely empty superblocks first: cheapest to migrate.
+        let sb = self.pop_empty();
+        if !sb.is_null() {
+            return (sb, 0);
+        }
+        // Then scan fullness groups from emptiest upward.
+        for group in 0..FULLNESS_GROUPS {
+            for class_bins in self.bins.iter() {
+                let head = class_bins[group].load(Ordering::Relaxed);
+                if head.is_null() {
+                    continue;
+                }
+                if cfg.f_empty_blocks((*head).in_use, (*head).capacity) {
+                    list::remove(&class_bins[group], head);
+                    return (head, Superblock::used_bytes(head));
+                }
+            }
+        }
+        (ptr::null_mut(), 0)
+    }
+
+    /// Telemetry/validation: total superblocks linked (O(n), lock held).
+    ///
+    /// # Safety
+    ///
+    /// Lock held.
+    #[cfg_attr(not(test), allow(dead_code))] // test & validation helper
+    pub unsafe fn superblock_count(&self) -> usize {
+        let mut n = self.empty_count.load(Ordering::Relaxed);
+        for class_bins in self.bins.iter() {
+            for head in class_bins.iter() {
+                n += list::len(head);
+            }
+        }
+        n
+    }
+
+    /// Validation: walk every linked superblock, calling `f`.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `f` must not mutate lists.
+    pub unsafe fn for_each_superblock(&self, mut f: impl FnMut(*mut Superblock)) {
+        let mut cur = self.empty.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            f(cur);
+            cur = (*cur).next;
+        }
+        for class_bins in self.bins.iter() {
+            for head in class_bins.iter() {
+                let mut cur = head.load(Ordering::Relaxed);
+                while !cur.is_null() {
+                    f(cur);
+                    cur = (*cur).next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HoardConfig;
+    use std::alloc::Layout;
+
+    const S: usize = 8192;
+
+    fn make_sb(class: u32, block_size: u32) -> *mut Superblock {
+        let layout = Layout::from_size_align(S, 4096).unwrap();
+        unsafe {
+            let p = std::alloc::alloc(layout);
+            assert!(!p.is_null());
+            Superblock::init(p, S, class, block_size, 1)
+        }
+    }
+
+    unsafe fn drop_sb(sb: *mut Superblock) {
+        let layout = Layout::from_size_align(S, 4096).unwrap();
+        std::alloc::dealloc(sb as *mut u8, layout);
+    }
+
+    #[test]
+    fn link_find_prefers_fullest() {
+        let heap = Heap::new();
+        unsafe {
+            let a = make_sb(2, 24);
+            let b = make_sb(2, 24);
+            // Make b fuller than a.
+            for _ in 0..10 {
+                Superblock::alloc_block(b);
+            }
+            Superblock::alloc_block(a);
+            heap.link(a);
+            heap.link(b);
+            // find should return b (higher fullness group) — unless both
+            // land in the same group, in which case either is fine.
+            let found = heap.find_with_free(2);
+            if Superblock::fullness_group(b) > Superblock::fullness_group(a) {
+                assert_eq!(found, b);
+            } else {
+                assert!(!found.is_null());
+            }
+            heap.unlink(a);
+            heap.unlink(b);
+            drop_sb(a);
+            drop_sb(b);
+        }
+    }
+
+    #[test]
+    fn full_superblocks_are_not_found() {
+        let heap = Heap::new();
+        unsafe {
+            let sb = make_sb(0, 8);
+            heap.link(sb);
+            while Superblock::has_free(sb) {
+                Superblock::alloc_block(sb);
+                heap.relink(sb);
+            }
+            assert!(heap.find_with_free(0).is_null(), "full sb must be hidden");
+            assert_eq!(heap.superblock_count(), 1, "but still owned");
+            heap.unlink(sb);
+            drop_sb(sb);
+        }
+    }
+
+    #[test]
+    fn drained_superblock_moves_to_empty_list() {
+        let heap = Heap::new();
+        unsafe {
+            let sb = make_sb(0, 8);
+            heap.link(sb);
+            let p = Superblock::alloc_block(sb);
+            heap.relink(sb);
+            Superblock::free_block(sb, p);
+            heap.relink(sb);
+            assert_eq!(heap.empty_count.load(Ordering::Relaxed), 1);
+            assert!(heap.find_with_free(0).is_null(), "empties are recycled, not found");
+            let popped = heap.pop_empty();
+            assert_eq!(popped, sb);
+            assert_eq!(heap.empty_count.load(Ordering::Relaxed), 0);
+            drop_sb(sb);
+        }
+    }
+
+    #[test]
+    fn take_emptiest_prefers_empty_then_f_empty() {
+        let cfg = HoardConfig::new().with_empty_fraction(1, 4);
+        let heap = Heap::new();
+        unsafe {
+            let empty = make_sb(0, 8);
+            let nearly_full = make_sb(0, 8);
+            let sparse = make_sb(1, 16);
+            // nearly_full: fill above 1-f occupancy.
+            let cap = (*nearly_full).capacity;
+            for _ in 0..(cap as usize * 9 / 10) {
+                Superblock::alloc_block(nearly_full);
+            }
+            // sparse: a couple of blocks.
+            Superblock::alloc_block(sparse);
+            Superblock::alloc_block(sparse);
+            heap.place(empty);
+            heap.place(nearly_full);
+            heap.place(sparse);
+
+            let (first, used) = heap.take_emptiest(&cfg);
+            assert_eq!(first, empty);
+            assert_eq!(used, 0);
+            let (second, used2) = heap.take_emptiest(&cfg);
+            assert_eq!(second, sparse, "sparse is f-empty, nearly_full is not");
+            assert_eq!(used2, 32);
+            let (third, _) = heap.take_emptiest(&cfg);
+            assert!(third.is_null(), "nearly_full must not be evicted");
+            heap.unlink(nearly_full);
+            drop_sb(empty);
+            drop_sb(nearly_full);
+            drop_sb(sparse);
+        }
+    }
+
+    #[test]
+    fn superblock_count_spans_all_lists() {
+        let heap = Heap::new();
+        unsafe {
+            let sbs: Vec<_> = (0..4).map(|_| make_sb(0, 8)).collect();
+            Superblock::alloc_block(sbs[1]);
+            for &sb in &sbs {
+                heap.place(sb);
+            }
+            assert_eq!(heap.superblock_count(), 4);
+            let mut seen = 0;
+            heap.for_each_superblock(|_| seen += 1);
+            assert_eq!(seen, 4);
+            for &sb in &sbs {
+                heap.unlink(sb);
+                drop_sb(sb);
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Superblocks: fixed-size chunks carved into equal blocks of one size
+//! class.
+//!
+//! A superblock occupies one `S`-byte chunk from the
+//! [`ChunkSource`](hoard_mem::ChunkSource). Its header lives at the
+//! start of the chunk; block slots follow, each slot being one header
+//! word (pointing back at the superblock — how `free(ptr)` finds home)
+//! plus the class's payload. Freed blocks form an intrusive LIFO through
+//! their payload's first word; never-yet-allocated blocks are carved
+//! lazily with a bump index, so creating a superblock touches only its
+//! header.
+//!
+//! All mutable fields are guarded by the *owning heap's* lock; the only
+//! field read without it is `owner`, an atomic, which `free` uses to
+//! find (and then verify under the lock) the heap to lock. Access is by
+//! raw pointer throughout — no `&mut` references are formed, so aliasing
+//! rules are respected even with concurrent readers of `owner`.
+
+use crate::FULLNESS_GROUPS;
+use hoard_mem::{write_header, HeaderWord, Tag, HEADER_SIZE};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Magic value marking a live superblock header (helps catch wild
+/// pointers in debug assertions).
+pub(crate) const SB_MAGIC: u64 = 0x5B10_C0DE_5B10_C0DE;
+
+/// Offset of the first block slot within the chunk (past the header,
+/// rounded to a cache line so block payloads of distinct superblocks
+/// never share a line with header metadata).
+pub(crate) const fn blocks_offset() -> usize {
+    hoard_mem::align_up(std::mem::size_of::<Superblock>(), hoard_mem::CACHE_LINE)
+}
+
+/// The in-chunk superblock header. `repr(C)` so the layout is stable
+/// regardless of field reordering heuristics.
+#[repr(C)]
+pub(crate) struct Superblock {
+    pub magic: u64,
+    /// Size class index this superblock currently serves.
+    pub class: u32,
+    /// Payload bytes per block.
+    pub block_size: u32,
+    /// Bytes between consecutive block payloads (header + payload).
+    pub stride: u32,
+    /// Total block slots in this superblock.
+    pub capacity: u32,
+    /// Blocks currently allocated. Guarded by the owner heap's lock.
+    pub in_use: u32,
+    /// Next never-used slot index (lazy carving). Guarded.
+    pub bump: u32,
+    /// Intrusive LIFO of freed block payloads. Guarded.
+    pub free_head: *mut u8,
+    /// Intrusive doubly-linked list through the owning heap's fullness
+    /// group (or empty list). Guarded.
+    pub next: *mut Superblock,
+    pub prev: *mut Superblock,
+    /// Index of the owning heap (0 = global). Written under *both* the
+    /// old and new owners' locks during migration; read lock-free by
+    /// `free` to decide which lock to take.
+    pub owner: AtomicUsize,
+    /// Fullness group this superblock is currently linked into.
+    pub group: u8,
+    /// Eviction hysteresis latch: set when the superblock fills past the
+    /// `1 − f` boundary, consumed when it crosses back below. Prevents a
+    /// superblock whose occupancy random-walks around the boundary from
+    /// triggering invariant restoration on every oscillation.
+    pub armed: bool,
+}
+
+impl Superblock {
+    /// Initialize the header of a fresh chunk at `chunk` (size
+    /// `superblock_size`) for blocks of `block_size` bytes (class index
+    /// `class`), owned by `owner`.
+    ///
+    /// # Safety
+    ///
+    /// `chunk` must point at the start of an exclusively owned,
+    /// writable chunk of `superblock_size` bytes, 8-aligned.
+    pub unsafe fn init(
+        chunk: *mut u8,
+        superblock_size: usize,
+        class: u32,
+        block_size: u32,
+        owner: usize,
+    ) -> *mut Superblock {
+        let sb = chunk as *mut Superblock;
+        let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE;
+        let capacity = (superblock_size - blocks_offset()) / stride;
+        debug_assert!(capacity >= 1, "superblock must hold at least one block");
+        sb.write(Superblock {
+            magic: SB_MAGIC,
+            class,
+            block_size,
+            stride: stride as u32,
+            capacity: capacity as u32,
+            in_use: 0,
+            bump: 0,
+            free_head: std::ptr::null_mut(),
+            next: std::ptr::null_mut(),
+            prev: std::ptr::null_mut(),
+            owner: AtomicUsize::new(owner),
+            group: 0,
+            armed: true,
+        });
+        sb
+    }
+
+    /// Reformat an *empty* superblock for a different size class
+    /// (cross-class recycling of empty superblocks).
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock and `(*sb).in_use == 0`;
+    /// `sb` must be unlinked from all lists.
+    pub unsafe fn reformat(sb: *mut Superblock, superblock_size: usize, class: u32, block_size: u32) {
+        debug_assert_eq!((*sb).in_use, 0, "reformat requires an empty superblock");
+        debug_assert_eq!((*sb).magic, SB_MAGIC);
+        let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE;
+        let capacity = (superblock_size - blocks_offset()) / stride;
+        (*sb).class = class;
+        (*sb).block_size = block_size;
+        (*sb).stride = stride as u32;
+        (*sb).capacity = capacity as u32;
+        (*sb).bump = 0;
+        (*sb).free_head = std::ptr::null_mut();
+        (*sb).group = 0;
+        (*sb).armed = true;
+    }
+
+    /// Whether this superblock has a free block.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock.
+    pub unsafe fn has_free(sb: *mut Superblock) -> bool {
+        (*sb).in_use < (*sb).capacity
+    }
+
+    /// Bytes of payload currently allocated from this superblock.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock.
+    pub unsafe fn used_bytes(sb: *mut Superblock) -> u64 {
+        (*sb).in_use as u64 * (*sb).block_size as u64
+    }
+
+    /// Total payload capacity of this superblock in bytes
+    /// (`capacity x block_size`). Heap `a_i` accounting uses usable
+    /// bytes, so a completely full superblock has `u == a` contribution
+    /// exactly — matching the paper's idealized model, in which the
+    /// emptiness invariant is a fullness fraction.
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock.
+    pub unsafe fn usable_bytes(sb: *mut Superblock) -> u64 {
+        (*sb).capacity as u64 * (*sb).block_size as u64
+    }
+
+    /// Pop one block; returns the payload pointer. The block's header
+    /// word is (re)written to point at this superblock.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock and have checked
+    /// [`has_free`](Self::has_free).
+    pub unsafe fn alloc_block(sb: *mut Superblock) -> *mut u8 {
+        debug_assert!(Self::has_free(sb));
+        let payload = {
+            let head = (*sb).free_head;
+            if !head.is_null() {
+                // Reuse a freed block: next pointer lives in its payload.
+                (*sb).free_head = (head as *mut *mut u8).read();
+                head
+            } else {
+                // Carve a never-used slot.
+                let idx = (*sb).bump;
+                debug_assert!(idx < (*sb).capacity);
+                (*sb).bump = idx + 1;
+                let base = (sb as *mut u8).add(blocks_offset());
+                base.add(idx as usize * (*sb).stride as usize + HEADER_SIZE)
+            }
+        };
+        (*sb).in_use += 1;
+        write_header(payload, HeaderWord::new(Tag::Superblock, sb as usize));
+        payload
+    }
+
+    /// Push a block's payload back onto the free list.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock; `payload` must be a live
+    /// block of this superblock.
+    pub unsafe fn free_block(sb: *mut Superblock, payload: *mut u8) {
+        debug_assert!((*sb).in_use > 0, "free on an empty superblock");
+        debug_assert!(Self::contains(sb, payload));
+        (payload as *mut *mut u8).write((*sb).free_head);
+        (*sb).free_head = payload;
+        (*sb).in_use -= 1;
+    }
+
+    /// Whether `payload` lies within this superblock's block area.
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock.
+    pub unsafe fn contains(sb: *mut Superblock, payload: *mut u8) -> bool {
+        let base = (sb as *mut u8).add(blocks_offset());
+        let off = (payload as usize).wrapping_sub(base as usize);
+        off < (*sb).capacity as usize * (*sb).stride as usize
+            && off % (*sb).stride as usize == HEADER_SIZE
+    }
+
+    /// Fullness group for the current occupancy: group 0 is emptiest,
+    /// `FULLNESS_GROUPS - 1` is fullest-but-not-full, and
+    /// [`full_group`](Self::full_group) holds completely full
+    /// superblocks.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock.
+    pub unsafe fn fullness_group(sb: *mut Superblock) -> usize {
+        let in_use = (*sb).in_use as usize;
+        let cap = (*sb).capacity as usize;
+        if in_use == cap {
+            Self::full_group()
+        } else {
+            (in_use * FULLNESS_GROUPS / cap).min(FULLNESS_GROUPS - 1)
+        }
+    }
+
+    /// Index of the group containing completely full superblocks.
+    pub const fn full_group() -> usize {
+        FULLNESS_GROUPS
+    }
+
+    /// Load the owner heap index (lock-free; pairs with
+    /// [`set_owner`](Self::set_owner)).
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock.
+    pub unsafe fn owner(sb: *mut Superblock) -> usize {
+        (*sb).owner.load(Ordering::Acquire)
+    }
+
+    /// Store the owner heap index. Must be called with both the old and
+    /// new owners' locks held (migration).
+    ///
+    /// # Safety
+    ///
+    /// See above; `sb` must be a live superblock.
+    pub unsafe fn set_owner(sb: *mut Superblock, owner: usize) {
+        (*sb).owner.store(owner, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_mem::read_header;
+    use std::alloc::Layout;
+
+    const S: usize = 8192;
+
+    struct Chunk(*mut u8, Layout);
+
+    impl Chunk {
+        fn new() -> Self {
+            let layout = Layout::from_size_align(S, 4096).unwrap();
+            let p = unsafe { std::alloc::alloc(layout) };
+            assert!(!p.is_null());
+            Chunk(p, layout)
+        }
+    }
+
+    impl Drop for Chunk {
+        fn drop(&mut self) {
+            unsafe { std::alloc::dealloc(self.0, self.1) };
+        }
+    }
+
+    #[test]
+    fn init_computes_capacity() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 3, 32, 1);
+            let stride = 32 + HEADER_SIZE;
+            assert_eq!((*sb).capacity as usize, (S - blocks_offset()) / stride);
+            assert_eq!((*sb).in_use, 0);
+            assert_eq!(Superblock::owner(sb), 1);
+            assert_eq!((*sb).magic, SB_MAGIC);
+        }
+    }
+
+    #[test]
+    fn alloc_until_full_then_free_all() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 8, 1);
+            let cap = (*sb).capacity;
+            let mut blocks = Vec::new();
+            for i in 0..cap {
+                assert!(Superblock::has_free(sb));
+                let p = Superblock::alloc_block(sb);
+                assert_eq!(p as usize % 8, 0, "payload 8-aligned");
+                // Header points home.
+                let h = read_header(p);
+                assert_eq!(h.tag, Tag::Superblock);
+                assert_eq!(h.value, sb as usize);
+                blocks.push(p);
+                assert_eq!((*sb).in_use, i + 1);
+            }
+            assert!(!Superblock::has_free(sb));
+            assert_eq!(Superblock::fullness_group(sb), Superblock::full_group());
+            for p in blocks.drain(..) {
+                Superblock::free_block(sb, p);
+            }
+            assert_eq!((*sb).in_use, 0);
+            assert_eq!(Superblock::fullness_group(sb), 0);
+        }
+    }
+
+    #[test]
+    fn blocks_do_not_overlap_and_are_writable() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 5, 48, 1);
+            let cap = (*sb).capacity as usize;
+            let mut ptrs = Vec::new();
+            for _ in 0..cap {
+                ptrs.push(Superblock::alloc_block(sb));
+            }
+            // Fill each block with a distinct pattern, then verify.
+            for (i, &p) in ptrs.iter().enumerate() {
+                std::ptr::write_bytes(p, i as u8, 48);
+            }
+            for (i, &p) in ptrs.iter().enumerate() {
+                for off in 0..48 {
+                    assert_eq!(*p.add(off), i as u8, "block {i} corrupted at {off}");
+                }
+            }
+            // All within the chunk.
+            for &p in &ptrs {
+                assert!(p as usize >= c.0 as usize + blocks_offset());
+                assert!((p as usize + 48) <= c.0 as usize + S);
+                assert!(Superblock::contains(sb, p));
+            }
+        }
+    }
+
+    #[test]
+    fn free_list_is_lifo() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 16, 1);
+            let a = Superblock::alloc_block(sb);
+            let b = Superblock::alloc_block(sb);
+            Superblock::free_block(sb, a);
+            Superblock::free_block(sb, b);
+            assert_eq!(Superblock::alloc_block(sb), b, "LIFO reuse");
+            assert_eq!(Superblock::alloc_block(sb), a);
+        }
+    }
+
+    #[test]
+    fn reformat_changes_class_geometry() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 8, 1);
+            let p = Superblock::alloc_block(sb);
+            Superblock::free_block(sb, p);
+            Superblock::reformat(sb, S, 9, 256, );
+            assert_eq!((*sb).class, 9);
+            assert_eq!((*sb).block_size, 256);
+            assert_eq!((*sb).bump, 0);
+            assert!((*sb).free_head.is_null());
+            let q = Superblock::alloc_block(sb);
+            std::ptr::write_bytes(q, 0xFF, 256);
+            assert!(Superblock::contains(sb, q));
+        }
+    }
+
+    #[test]
+    fn fullness_groups_partition_occupancy() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 8, 1);
+            let cap = (*sb).capacity;
+            let mut prev_group = 0;
+            let mut ptrs = Vec::new();
+            for _ in 0..cap {
+                ptrs.push(Superblock::alloc_block(sb));
+                let g = Superblock::fullness_group(sb);
+                assert!(g >= prev_group, "groups grow with occupancy");
+                prev_group = g;
+            }
+            assert_eq!(prev_group, Superblock::full_group());
+        }
+    }
+
+    #[test]
+    fn contains_rejects_foreign_pointers() {
+        let c1 = Chunk::new();
+        let c2 = Chunk::new();
+        unsafe {
+            let sb1 = Superblock::init(c1.0, S, 0, 8, 1);
+            let sb2 = Superblock::init(c2.0, S, 0, 8, 1);
+            let p2 = Superblock::alloc_block(sb2);
+            assert!(!Superblock::contains(sb1, p2));
+            // Misaligned interior pointer.
+            let p1 = Superblock::alloc_block(sb1);
+            assert!(!Superblock::contains(sb1, p1.add(1)));
+        }
+    }
+}

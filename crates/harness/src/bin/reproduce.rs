@@ -1,0 +1,127 @@
+//! `reproduce` — regenerate the Hoard paper's tables and figures.
+//!
+//! ```text
+//! reproduce all                 # every experiment
+//! reproduce e2 e9              # selected experiments
+//! reproduce all --quick        # reduced-scale smoke run
+//! reproduce e2 --threads 1,2,4 # custom processor sweep
+//! reproduce all --csv out/     # also write CSV per table
+//! reproduce all --report FILE  # also write a markdown digest
+//! reproduce list               # show the experiment index
+//! ```
+
+use hoard_harness::{all_experiments, experiment_by_id, RunOptions};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut csv_dir: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let threads = if opts.threads == RunOptions::default().threads {
+                    RunOptions::quick().threads
+                } else {
+                    opts.threads.clone()
+                };
+                opts = RunOptions {
+                    threads,
+                    quick: true,
+                };
+            }
+            "--threads" => {
+                let spec = iter.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a comma-separated list, e.g. 1,2,4");
+                    std::process::exit(2);
+                });
+                opts.threads = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("bad thread count: {s}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--csv" => {
+                csv_dir = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--report" => {
+                report_path = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--report needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            "list" => {
+                for e in all_experiments() {
+                    println!("{:>4}  {:<42} {}", e.id(), e.title(), e.paper_ref());
+                }
+                return;
+            }
+            "all" => ids.extend(all_experiments().iter().map(|e| e.id().to_string())),
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    ids.dedup();
+
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv directory");
+    }
+
+    let mut all_tables = Vec::new();
+    for id in &ids {
+        let Some(experiment) = experiment_by_id(id) else {
+            eprintln!("unknown experiment: {id} (try `reproduce list`)");
+            std::process::exit(2);
+        };
+        eprintln!(
+            ">> running {} — {} [{}]",
+            experiment.id(),
+            experiment.title(),
+            experiment.paper_ref()
+        );
+        let start = std::time::Instant::now();
+        let tables = experiment.run(&opts);
+        eprintln!("   done in {:.1}s", start.elapsed().as_secs_f64());
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}_{i}.csv", experiment.id());
+                let mut f = std::fs::File::create(&path).expect("create csv");
+                f.write_all(table.to_csv().as_bytes()).expect("write csv");
+                eprintln!("   wrote {path}");
+            }
+        }
+        all_tables.extend(tables);
+    }
+
+    if let Some(path) = report_path {
+        let md = hoard_harness::markdown_report(&all_tables);
+        std::fs::write(&path, md).expect("write report");
+        eprintln!("   wrote {path}");
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: reproduce <experiment ids... | all | list> [--quick] \
+         [--threads 1,2,4] [--csv DIR] [--report FILE]"
+    );
+}

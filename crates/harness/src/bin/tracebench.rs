@@ -1,0 +1,120 @@
+//! `tracebench` — synthesize, store and replay allocation traces.
+//!
+//! ```text
+//! tracebench synth out.trace --threads 8 --allocs 5000 --remote 150
+//! tracebench replay out.trace            # all allocators, one table
+//! tracebench replay out.trace --alloc hoard
+//! ```
+//!
+//! Traces are the apples-to-apples instrument of allocator research: the
+//! workload is frozen as data, so replay differences are attributable to
+//! the allocator alone.
+
+use hoard_harness::{AllocatorKind, Table};
+use hoard_workloads::trace::{replay, synthesize, SynthesisParams, Trace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("synth") => synth(&args[1..]),
+        Some("replay") => run_replay(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: tracebench synth FILE [--threads N] [--allocs N] \
+                 [--remote PERMILLE] [--seed N]\n       \
+                 tracebench replay FILE [--alloc NAME]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                std::process::exit(2);
+            })
+        })
+}
+
+fn synth(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("synth needs an output file");
+        std::process::exit(2);
+    };
+    let params = SynthesisParams {
+        threads: flag(args, "--threads").unwrap_or(4) as usize,
+        allocs_per_thread: flag(args, "--allocs").unwrap_or(2_000) as usize,
+        remote_free_permille: flag(args, "--remote").unwrap_or(100) as u32,
+        seed: flag(args, "--seed").unwrap_or(0x7ACE),
+        ..Default::default()
+    };
+    let trace = synthesize(&params);
+    std::fs::write(path, trace.to_text()).expect("write trace");
+    eprintln!(
+        "wrote {path}: {} threads, {} events",
+        trace.threads(),
+        trace.len()
+    );
+}
+
+fn run_replay(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("replay needs a trace file");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = Trace::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("malformed trace: {e}");
+        std::process::exit(2);
+    });
+    trace.validate().unwrap_or_else(|e| {
+        eprintln!("invalid trace: {e}");
+        std::process::exit(2);
+    });
+
+    let only = args
+        .iter()
+        .position(|a| a == "--alloc")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut table = Table::new(
+        "trace",
+        format!("replay of {path} ({} threads, {} events)", trace.threads(), trace.len()),
+        vec![
+            "allocator".into(),
+            "makespan".into(),
+            "throughput".into(),
+            "remote frees".into(),
+            "held peak".into(),
+            "frag A/U".into(),
+        ],
+    );
+    for kind in AllocatorKind::sweep() {
+        if let Some(name) = &only {
+            if kind.label() != name {
+                continue;
+            }
+        }
+        let alloc = kind.build();
+        let result = replay(&*alloc, &trace);
+        assert_eq!(result.snapshot.live_current, 0, "replay must return all memory");
+        table.push_row(vec![
+            kind.label().to_string(),
+            result.makespan.to_string(),
+            format!("{:.1}", result.throughput()),
+            result.snapshot.remote_frees.to_string(),
+            result.snapshot.held_peak.to_string(),
+            format!("{:.2}", result.fragmentation().unwrap_or(f64::NAN)),
+        ]);
+    }
+    table.push_note("identical events on every allocator; fresh instance per run");
+    println!("{}", table.render());
+}

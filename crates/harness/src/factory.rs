@@ -1,0 +1,87 @@
+//! Allocator factory: build fresh instances per measurement run.
+
+use hoard_baselines::{
+    MtLikeAllocator, OwnershipAllocator, PurePrivateAllocator, SerialAllocator,
+};
+use hoard_core::{HoardAllocator, HoardConfig};
+use hoard_mem::MtAllocator;
+
+/// The allocators every experiment sweeps, mirroring the paper's set
+/// (Solaris malloc, ptmalloc, mtmalloc, Hoard) plus the taxonomy's
+/// pure-private class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AllocatorKind {
+    /// Single lock, single heap (Solaris-malloc model).
+    Serial,
+    /// Pure private heaps (Cilk/STL model).
+    PurePrivate,
+    /// Private heaps with ownership (ptmalloc model).
+    Ownership,
+    /// Per-thread caches over one central lock (mtmalloc model).
+    MtLike,
+    /// Hoard with the given configuration.
+    Hoard(HoardConfig),
+}
+
+impl AllocatorKind {
+    /// Column label used across tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocatorKind::Serial => "serial",
+            AllocatorKind::PurePrivate => "private",
+            AllocatorKind::Ownership => "ownership",
+            AllocatorKind::MtLike => "mtlike",
+            AllocatorKind::Hoard(_) => "hoard",
+        }
+    }
+
+    /// Build a fresh instance (one per measurement run; see the crate
+    /// docs for why instances are never reused).
+    pub fn build(&self) -> Box<dyn MtAllocator> {
+        match self {
+            AllocatorKind::Serial => Box::new(SerialAllocator::new()),
+            AllocatorKind::PurePrivate => Box::new(PurePrivateAllocator::new()),
+            AllocatorKind::Ownership => Box::new(OwnershipAllocator::new()),
+            AllocatorKind::MtLike => Box::new(MtLikeAllocator::new()),
+            AllocatorKind::Hoard(cfg) => {
+                Box::new(HoardAllocator::with_config(*cfg).expect("valid hoard config"))
+            }
+        }
+    }
+
+    /// The default sweep, in the paper's presentation order.
+    pub fn sweep() -> Vec<AllocatorKind> {
+        vec![
+            AllocatorKind::Serial,
+            AllocatorKind::MtLike,
+            AllocatorKind::PurePrivate,
+            AllocatorKind::Ownership,
+            AllocatorKind::Hoard(HoardConfig::new()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_allocates() {
+        for kind in AllocatorKind::sweep() {
+            let a = kind.build();
+            unsafe {
+                let p = a.allocate(64).expect("fresh allocator serves");
+                a.deallocate(p);
+            }
+            assert_eq!(a.stats().live_current, 0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = AllocatorKind::sweep().iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

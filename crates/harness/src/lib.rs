@@ -1,0 +1,57 @@
+//! # hoard-harness — regenerating the paper's tables and figures
+//!
+//! Each published table or figure of the Hoard paper's evaluation maps
+//! to one [`Experiment`] (`E1`..`E12`; see `DESIGN.md` for the index).
+//! The `reproduce` binary runs them and renders ASCII tables plus
+//! optional CSV:
+//!
+//! ```text
+//! reproduce all            # every experiment, paper-scale parameters
+//! reproduce e2 e4 --quick  # selected experiments, reduced scale
+//! reproduce e9 --csv out/  # also write CSV files
+//! ```
+//!
+//! Measurement rules the harness enforces:
+//!
+//! * a **fresh allocator instance per run** — `VLock`s carry virtual
+//!   release times, so reuse across machine runs (which reset clocks)
+//!   would contaminate measurements;
+//! * the global cache model is reset by each workload;
+//! * speedups are normalized to the **serial allocator's one-processor
+//!   makespan** on the same workload, as in the paper's figures (so an
+//!   allocator faster than serial at P=1 starts above 1.0).
+
+mod experiments;
+mod factory;
+mod speedup;
+mod summary;
+mod table;
+
+pub use experiments::{all_experiments, experiment_by_id, Experiment, RunOptions};
+pub use factory::AllocatorKind;
+pub use speedup::{run_speedup, SpeedupPoint, SpeedupSeries};
+pub use summary::{markdown_report, summarize_speedup, CurveSummary, Shape};
+pub use table::Table;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 12);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.id(), format!("e{}", i + 1));
+            assert!(!e.title().is_empty());
+            assert!(!e.paper_ref().is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(experiment_by_id("e1").is_some());
+        assert!(experiment_by_id("E9").is_some(), "case-insensitive");
+        assert!(experiment_by_id("e99").is_none());
+    }
+}

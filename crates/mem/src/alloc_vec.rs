@@ -1,0 +1,235 @@
+//! [`AllocVec`] — a growable array backed by any [`MtAllocator`].
+//!
+//! Demonstrates (and tests) the allocator's `reallocate` path the way
+//! `Vec` exercises a system `malloc`: amortized-doubling growth, moves
+//! that must preserve content, and shrink-to-fit. Like
+//! [`AllocBox`](crate::AllocBox), it lets real data structures live in
+//! the allocator under test.
+
+use crate::api::MtAllocator;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// A `Vec<T>`-alike whose buffer lives in an [`MtAllocator`].
+///
+/// Supports `Copy` payloads (the benchmarks' use case); this keeps drop
+/// semantics trivial and the unsafe surface small.
+pub struct AllocVec<'a, T: Copy> {
+    buf: Option<NonNull<T>>,
+    len: usize,
+    capacity: usize,
+    alloc: &'a dyn MtAllocator,
+}
+
+impl<'a, T: Copy> AllocVec<'a, T> {
+    /// An empty vector over `alloc` (no allocation until the first push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` is zero-sized or requires alignment above 8.
+    pub fn new_in(alloc: &'a dyn MtAllocator) -> Self {
+        assert!(std::mem::size_of::<T>() > 0, "zero-sized types not supported");
+        assert!(
+            std::mem::align_of::<T>() <= crate::MIN_ALIGN,
+            "AllocVec supports alignment <= 8"
+        );
+        AllocVec {
+            buf: None,
+            len: 0,
+            capacity: 0,
+            alloc,
+        }
+    }
+
+    /// Elements currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an element, growing the buffer (amortized doubling) when
+    /// full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator is exhausted.
+    pub fn push(&mut self, value: T) {
+        if self.len == self.capacity {
+            self.grow_to(self.capacity.max(4) * 2);
+        }
+        unsafe {
+            self.buf
+                .expect("capacity > 0 after grow")
+                .as_ptr()
+                .add(self.len)
+                .write(value);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(unsafe { self.buf?.as_ptr().add(self.len).read() })
+    }
+
+    /// Shrink the buffer to exactly fit the current length (freeing it
+    /// entirely when empty).
+    ///
+    /// Always moves to a fresh exactly-sized buffer: an in-place
+    /// `reallocate` would keep the old block's usable size, releasing
+    /// nothing.
+    pub fn shrink_to_fit(&mut self) {
+        if self.len == self.capacity {
+            return;
+        }
+        let Some(old) = self.buf.take() else {
+            return;
+        };
+        if self.len == 0 {
+            unsafe { self.alloc.deallocate(old.cast()) };
+            self.capacity = 0;
+            return;
+        }
+        let elem = std::mem::size_of::<T>();
+        let fresh = unsafe { self.alloc.allocate(self.len * elem) }
+            .expect("allocator exhausted");
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                old.as_ptr() as *const u8,
+                fresh.as_ptr(),
+                self.len * elem,
+            );
+            self.alloc.deallocate(old.cast());
+        }
+        self.buf = Some(fresh.cast());
+        self.capacity = unsafe { self.alloc.usable_size(fresh) } / elem;
+    }
+
+    fn grow_to(&mut self, new_capacity: usize) {
+        let elem = std::mem::size_of::<T>();
+        let new_bytes = new_capacity * elem;
+        let fresh = match self.buf {
+            None => unsafe { self.alloc.allocate(new_bytes) },
+            Some(buf) => unsafe {
+                self.alloc
+                    .reallocate(buf.cast(), self.capacity * elem, new_bytes)
+            },
+        }
+        .expect("allocator exhausted");
+        self.buf = Some(fresh.cast());
+        // The allocator may hand back more than requested; use it.
+        self.capacity = unsafe { self.alloc.usable_size(fresh) } / elem;
+    }
+}
+
+impl<T: Copy> Deref for AllocVec<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        match self.buf {
+            Some(buf) => unsafe { std::slice::from_raw_parts(buf.as_ptr(), self.len) },
+            None => &[],
+        }
+    }
+}
+
+impl<T: Copy> DerefMut for AllocVec<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        match self.buf {
+            Some(buf) => unsafe { std::slice::from_raw_parts_mut(buf.as_ptr(), self.len) },
+            None => &mut [],
+        }
+    }
+}
+
+impl<T: Copy> Drop for AllocVec<'_, T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            unsafe { self.alloc.deallocate(buf.cast()) };
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AllocVec<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Copy> Extend<T> for AllocVec<'_, T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::test_support::HostAllocator;
+
+    #[test]
+    fn push_pop_grow_roundtrip() {
+        let a = HostAllocator::default();
+        {
+            let mut v: AllocVec<'_, u64> = AllocVec::new_in(&a);
+            assert!(v.is_empty());
+            for i in 0..1000u64 {
+                v.push(i * 3);
+            }
+            assert_eq!(v.len(), 1000);
+            assert!(v.capacity() >= 1000);
+            // Content intact across the many growth moves.
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, i as u64 * 3);
+            }
+            for i in (0..1000u64).rev() {
+                assert_eq!(v.pop(), Some(i * 3));
+            }
+            assert_eq!(v.pop(), None);
+        }
+        assert_eq!(a.stats().live_current, 0, "buffer returned on drop");
+    }
+
+    #[test]
+    fn slice_access_and_mutation() {
+        let a = HostAllocator::default();
+        let mut v = AllocVec::new_in(&a);
+        v.extend([1i32, 2, 3, 4]);
+        v[2] = 99;
+        assert_eq!(&v[..], &[1, 2, 99, 4]);
+        assert_eq!(v.iter().sum::<i32>(), 106);
+        assert_eq!(format!("{v:?}"), "[1, 2, 99, 4]");
+    }
+
+    #[test]
+    fn shrink_to_fit_releases_capacity() {
+        let a = HostAllocator::default();
+        let mut v = AllocVec::new_in(&a);
+        v.extend(0..100u32);
+        while v.len() > 5 {
+            v.pop();
+        }
+        v.shrink_to_fit();
+        assert!(v.capacity() < 100);
+        assert_eq!(&v[..], &[0, 1, 2, 3, 4]);
+        while v.pop().is_some() {}
+        v.shrink_to_fit();
+        assert_eq!(v.capacity(), 0);
+        assert_eq!(a.stats().live_current, 0, "empty shrink frees the buffer");
+    }
+}

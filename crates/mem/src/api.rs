@@ -1,0 +1,220 @@
+//! The common allocator interface.
+//!
+//! [`MtAllocator`] is the `malloc`/`free`-shaped contract every allocator
+//! in the workspace implements — Hoard itself and each baseline from the
+//! paper's taxonomy — so workloads, the harness and the benches can be
+//! written once and parameterized by allocator.
+
+use crate::stats::AllocSnapshot;
+use std::ptr::NonNull;
+
+/// A thread-safe `malloc`-style allocator with self-describing blocks.
+///
+/// Blocks returned by [`allocate`](MtAllocator::allocate) are at least
+/// 8-byte aligned and at least `size` bytes long.
+/// [`deallocate`](MtAllocator::deallocate) takes only the pointer — each
+/// allocator stores a header word before the payload (see
+/// [`crate::read_header`]).
+///
+/// # Safety
+///
+/// Implementations must guarantee that, until deallocated, every
+/// allocated block is valid for reads and writes of `size` bytes, does
+/// not overlap any other live block, and may be allocated and freed from
+/// any thread (including freeing on a different thread than the
+/// allocating one — the paper's *remote free*).
+pub unsafe trait MtAllocator: Send + Sync {
+    /// Short human-readable allocator name (used in tables: `hoard`,
+    /// `serial`, `private`, `ownership`, `mtlike`).
+    fn name(&self) -> &'static str;
+
+    /// Allocate `size` bytes (8-aligned). Returns `None` on exhaustion.
+    ///
+    /// # Safety
+    ///
+    /// `size` must be nonzero.
+    unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>>;
+
+    /// Free a block previously returned by
+    /// [`allocate`](MtAllocator::allocate) on this allocator.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from this allocator's `allocate` and must not be
+    /// used (or freed again) afterwards. Any thread may call this.
+    unsafe fn deallocate(&self, ptr: NonNull<u8>);
+
+    /// Accounting snapshot, including chunk-source `held` figures.
+    fn stats(&self) -> AllocSnapshot;
+
+    /// The usable payload size of a live block (may exceed the requested
+    /// size due to size-class rounding).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a live block of this allocator.
+    unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize;
+
+    /// Resize a block to `new_size` bytes, preserving
+    /// `min(old_size, new_size)` bytes of content. The default grows in
+    /// place when the block's size class already covers `new_size`, and
+    /// otherwise allocates-copies-frees (what C `realloc` does).
+    ///
+    /// Returns `None` — leaving the original block intact and live — if
+    /// a required new allocation fails.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be a live block of this allocator holding at least
+    /// `old_size` valid bytes; `new_size` must be nonzero. On `Some`,
+    /// the old pointer must not be used again.
+    unsafe fn reallocate(
+        &self,
+        ptr: NonNull<u8>,
+        old_size: usize,
+        new_size: usize,
+    ) -> Option<NonNull<u8>> {
+        debug_assert!(new_size > 0);
+        if self.usable_size(ptr) >= new_size {
+            return Some(ptr); // in-place: the class already covers it
+        }
+        let fresh = self.allocate(new_size)?;
+        std::ptr::copy_nonoverlapping(ptr.as_ptr(), fresh.as_ptr(), old_size.min(new_size));
+        self.deallocate(ptr);
+        Some(fresh)
+    }
+}
+
+/// Blanket impl so `&A` works wherever an allocator is expected.
+unsafe impl<A: MtAllocator + ?Sized> MtAllocator for &A {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
+        (**self).allocate(size)
+    }
+
+    unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+        (**self).deallocate(ptr)
+    }
+
+    fn stats(&self) -> AllocSnapshot {
+        (**self).stats()
+    }
+
+    unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
+        (**self).usable_size(ptr)
+    }
+
+    unsafe fn reallocate(
+        &self,
+        ptr: NonNull<u8>,
+        old_size: usize,
+        new_size: usize,
+    ) -> Option<NonNull<u8>> {
+        (**self).reallocate(ptr, old_size, new_size)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::stats::AllocStats;
+    use std::alloc::Layout;
+
+    /// A trivial header-carrying allocator over the host heap, used to
+    /// test the trait machinery and [`crate::AllocBox`].
+    #[derive(Debug, Default)]
+    pub struct HostAllocator {
+        pub stats: AllocStats,
+    }
+
+    unsafe impl MtAllocator for HostAllocator {
+        fn name(&self) -> &'static str {
+            "host"
+        }
+
+        unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
+            let total = crate::align_up(size, 8) + crate::HEADER_SIZE;
+            let layout = Layout::from_size_align(total, 8).ok()?;
+            let raw = std::alloc::alloc(layout);
+            let raw = NonNull::new(raw)?;
+            let payload = raw.as_ptr().add(crate::HEADER_SIZE);
+            // Store the size for dealloc/usable_size.
+            crate::write_header(
+                payload,
+                crate::HeaderWord::from_int(crate::Tag::Baseline, size),
+            );
+            self.stats.on_alloc(size as u64);
+            Some(NonNull::new_unchecked(payload))
+        }
+
+        unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+            let size = crate::read_header(ptr.as_ptr()).to_int();
+            self.stats.on_free(size as u64, false);
+            let total = crate::align_up(size, 8) + crate::HEADER_SIZE;
+            let layout = Layout::from_size_align(total, 8).unwrap();
+            std::alloc::dealloc(ptr.as_ptr().sub(crate::HEADER_SIZE), layout);
+        }
+
+        fn stats(&self) -> AllocSnapshot {
+            self.stats.snapshot()
+        }
+
+        unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
+            crate::read_header(ptr.as_ptr()).to_int()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::HostAllocator;
+    use super::*;
+
+    #[test]
+    fn host_allocator_roundtrip() {
+        let a = HostAllocator::default();
+        unsafe {
+            let p = a.allocate(100).unwrap();
+            assert_eq!(p.as_ptr() as usize % 8, 0);
+            std::ptr::write_bytes(p.as_ptr(), 0x5A, 100);
+            assert_eq!(a.usable_size(p), 100);
+            assert_eq!(a.stats().live_current, 100);
+            a.deallocate(p);
+            assert_eq!(a.stats().live_current, 0);
+        }
+    }
+
+    #[test]
+    fn reallocate_preserves_content_and_grows_in_place_when_possible() {
+        let a = HostAllocator::default();
+        unsafe {
+            let p = a.allocate(64).unwrap();
+            std::ptr::write_bytes(p.as_ptr(), 0x11, 64);
+            // Shrink: always in place under the default impl.
+            let q = a.reallocate(p, 64, 16).unwrap();
+            assert_eq!(q, p, "shrink stays in place");
+            // Grow beyond usable size: moves and copies.
+            let r = a.reallocate(q, 16, 4096).unwrap();
+            for off in 0..16 {
+                assert_eq!(*r.as_ptr().add(off), 0x11, "content preserved");
+            }
+            a.deallocate(r);
+        }
+        assert_eq!(a.stats().live_current, 0);
+    }
+
+    #[test]
+    fn reference_blanket_impl_forwards() {
+        let a = HostAllocator::default();
+        let r: &dyn MtAllocator = &a;
+        unsafe {
+            let p = r.allocate(8).unwrap();
+            assert_eq!(r.name(), "host");
+            r.deallocate(p);
+        }
+        assert_eq!(a.stats().allocs, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Large objects (requests above `S/2`).
+//!
+//! The paper routes requests larger than half a superblock straight to
+//! the operating system — they are rare, page-granular, and would waste
+//! most of a superblock. Each large object gets its own chunk: a small
+//! `LargeHeader` at the chunk start, the payload at a fixed offset,
+//! and the standard per-block header word tagged [`Tag::Large`]
+//! immediately before the payload so `free` can dispatch without knowing
+//! the size.
+
+use crate::{align_up, write_header, ChunkSource, HeaderWord, Tag};
+use std::alloc::Layout;
+use std::ptr::NonNull;
+
+/// Alignment of large-object chunks (page-like).
+const CHUNK_ALIGN: usize = 4096;
+
+/// Payload offset within the chunk: room for [`LargeHeader`] plus the
+/// tag word, rounded to a cache line.
+const PREFIX: usize = 64;
+
+const LARGE_MAGIC: u64 = 0x1A26_E0B1_1A26_E0B1;
+
+/// Header at the start of every large-object chunk.
+#[repr(C)]
+struct LargeHeader {
+    magic: u64,
+    /// Requested payload size in bytes.
+    size: usize,
+    /// Total chunk size (for the free's layout).
+    chunk_size: usize,
+}
+
+/// Allocate a large object of `size` bytes from `source`.
+///
+/// # Safety
+///
+/// `size` must be nonzero.
+pub unsafe fn alloc_large<S: ChunkSource>(source: &S, size: usize) -> Option<NonNull<u8>> {
+    let chunk_size = align_up(PREFIX + size, CHUNK_ALIGN);
+    let layout = Layout::from_size_align(chunk_size, CHUNK_ALIGN).expect("large layout");
+    let chunk = source.alloc_chunk(layout)?;
+    let hdr = chunk.as_ptr() as *mut LargeHeader;
+    hdr.write(LargeHeader {
+        magic: LARGE_MAGIC,
+        size,
+        chunk_size,
+    });
+    let payload = chunk.as_ptr().add(PREFIX);
+    write_header(payload, HeaderWord::new(Tag::Large, chunk.as_ptr() as usize));
+    Some(NonNull::new_unchecked(payload))
+}
+
+/// Free a large object; returns its payload size (for accounting).
+///
+/// # Safety
+///
+/// `chunk_addr` must be the [`Tag::Large`] header value of a live large
+/// object previously produced by [`alloc_large`] on the same `source`.
+pub unsafe fn free_large<S: ChunkSource>(source: &S, chunk_addr: usize) -> usize {
+    let hdr = chunk_addr as *mut LargeHeader;
+    debug_assert_eq!((*hdr).magic, LARGE_MAGIC, "corrupt large-object header");
+    let size = (*hdr).size;
+    let chunk_size = (*hdr).chunk_size;
+    let layout = Layout::from_size_align(chunk_size, CHUNK_ALIGN).expect("large layout");
+    source.free_chunk(NonNull::new_unchecked(chunk_addr as *mut u8), layout);
+    size
+}
+
+/// Payload size of a live large object.
+///
+/// # Safety
+///
+/// As for [`free_large`], but the object stays live.
+pub unsafe fn large_size(chunk_addr: usize) -> usize {
+    let hdr = chunk_addr as *mut LargeHeader;
+    debug_assert_eq!((*hdr).magic, LARGE_MAGIC, "corrupt large-object header");
+    (*hdr).size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_header, SystemSource};
+
+    #[test]
+    fn roundtrip_and_accounting() {
+        let src = SystemSource::new();
+        unsafe {
+            let p = alloc_large(&src, 10_000).unwrap();
+            assert_eq!(p.as_ptr() as usize % 8, 0);
+            std::ptr::write_bytes(p.as_ptr(), 0xCD, 10_000);
+            let h = read_header(p.as_ptr());
+            assert_eq!(h.tag, Tag::Large);
+            assert_eq!(large_size(h.value), 10_000);
+            assert!(src.stats().held_current >= 10_000);
+            let freed = free_large(&src, h.value);
+            assert_eq!(freed, 10_000);
+            assert_eq!(src.stats().held_current, 0);
+        }
+    }
+
+    #[test]
+    fn chunk_is_page_rounded() {
+        let src = SystemSource::new();
+        unsafe {
+            let p = alloc_large(&src, 1).unwrap();
+            assert_eq!(src.stats().held_current, 4096, "one page for a tiny large object");
+            let h = read_header(p.as_ptr());
+            free_large(&src, h.value);
+        }
+    }
+
+    #[test]
+    fn distinct_large_objects_do_not_overlap() {
+        let src = SystemSource::new();
+        unsafe {
+            let a = alloc_large(&src, 5000).unwrap();
+            let b = alloc_large(&src, 5000).unwrap();
+            std::ptr::write_bytes(a.as_ptr(), 0x11, 5000);
+            std::ptr::write_bytes(b.as_ptr(), 0x22, 5000);
+            assert_eq!(*a.as_ptr(), 0x11);
+            assert_eq!(*b.as_ptr(), 0x22);
+            let ha = read_header(a.as_ptr());
+            let hb = read_header(b.as_ptr());
+            free_large(&src, ha.value);
+            free_large(&src, hb.value);
+        }
+    }
+}

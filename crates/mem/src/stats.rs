@@ -1,0 +1,210 @@
+//! Allocator accounting.
+//!
+//! The paper's memory-efficiency results are stated in terms of two
+//! quantities: `U(t)` — bytes *in use* by the program (requested through
+//! `malloc` and not yet freed) — and `A(t)` — bytes *held* from the
+//! operating system. **Fragmentation** is `max A / max U`, and **blowup**
+//! compares `max A` against what an ideal serial allocator would hold.
+//! [`AllocStats`] is the shared, thread-safe ledger each allocator
+//! updates on its hot paths (relaxed atomics; a handful of nanoseconds).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone `fetch_max` for high-water marks on a relaxed atomic.
+pub(crate) fn peak_max(peak: &AtomicU64, candidate: u64) {
+    let mut cur = peak.load(Ordering::Relaxed);
+    while candidate > cur {
+        match peak.compare_exchange_weak(cur, candidate, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Thread-safe allocator accounting cell. Embed one per allocator.
+#[derive(Debug, Default)]
+pub struct AllocStats {
+    live: AtomicU64,
+    live_peak: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    remote_frees: AtomicU64,
+    transfers_to_global: AtomicU64,
+    transfers_from_global: AtomicU64,
+}
+
+impl AllocStats {
+    /// A zeroed ledger. `const`, so it can live in a `static` allocator.
+    pub const fn new() -> Self {
+        AllocStats {
+            live: AtomicU64::new(0),
+            live_peak: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            remote_frees: AtomicU64::new(0),
+            transfers_to_global: AtomicU64::new(0),
+            transfers_from_global: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a successful allocation of `bytes` usable payload bytes.
+    pub fn on_alloc(&self, bytes: u64) {
+        let now = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        peak_max(&self.live_peak, now);
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a free of `bytes`; `remote` means the freeing thread is not
+    /// the one mapped to the block's owning heap (the paper's
+    /// cross-thread / "bled" frees).
+    pub fn on_free(&self, bytes: u64, remote: bool) {
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        if remote {
+            self.remote_frees.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a superblock migration to the global heap.
+    pub fn on_transfer_to_global(&self) {
+        self.transfers_to_global.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a superblock migration from the global heap to a
+    /// per-processor heap.
+    pub fn on_transfer_from_global(&self) {
+        self.transfers_from_global.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes currently live (in use by the program).
+    pub fn live_now(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            live_current: self.live.load(Ordering::Relaxed),
+            live_peak: self.live_peak.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            remote_frees: self.remote_frees.load(Ordering::Relaxed),
+            transfers_to_global: self.transfers_to_global.load(Ordering::Relaxed),
+            transfers_from_global: self.transfers_from_global.load(Ordering::Relaxed),
+            held_current: 0,
+            held_peak: 0,
+        }
+    }
+}
+
+/// Serializable snapshot of an allocator's counters, optionally enriched
+/// with the backing [`SourceStats`](crate::SourceStats) (`held_*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocSnapshot {
+    /// Bytes in use (`U(t)`).
+    pub live_current: u64,
+    /// High-water mark of bytes in use (`max U`).
+    pub live_peak: u64,
+    /// `malloc` count.
+    pub allocs: u64,
+    /// `free` count.
+    pub frees: u64,
+    /// Frees performed by a thread other than the owner.
+    pub remote_frees: u64,
+    /// Superblocks moved to the global heap (Hoard only).
+    pub transfers_to_global: u64,
+    /// Superblocks taken from the global heap (Hoard only).
+    pub transfers_from_global: u64,
+    /// Bytes held from the OS (`A(t)`), from the chunk source.
+    pub held_current: u64,
+    /// High-water mark of held bytes (`max A`).
+    pub held_peak: u64,
+}
+
+impl AllocSnapshot {
+    /// Merge chunk-source accounting into this snapshot.
+    pub fn with_source(mut self, src: crate::SourceStats) -> Self {
+        self.held_current = src.held_current;
+        self.held_peak = src.held_peak;
+        self
+    }
+
+    /// The paper's fragmentation ratio `max A / max U`.
+    ///
+    /// Returns `None` when nothing was ever allocated.
+    pub fn fragmentation(&self) -> Option<f64> {
+        if self.live_peak == 0 {
+            None
+        } else {
+            Some(self.held_peak as f64 / self.live_peak as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_accounting_and_peak() {
+        let s = AllocStats::new();
+        s.on_alloc(100);
+        s.on_alloc(50);
+        assert_eq!(s.live_now(), 150);
+        s.on_free(100, false);
+        let snap = s.snapshot();
+        assert_eq!(snap.live_current, 50);
+        assert_eq!(snap.live_peak, 150);
+        assert_eq!(snap.allocs, 2);
+        assert_eq!(snap.frees, 1);
+        assert_eq!(snap.remote_frees, 0);
+    }
+
+    #[test]
+    fn remote_frees_counted_separately() {
+        let s = AllocStats::new();
+        s.on_alloc(8);
+        s.on_free(8, true);
+        assert_eq!(s.snapshot().remote_frees, 1);
+    }
+
+    #[test]
+    fn fragmentation_ratio() {
+        let snap = AllocSnapshot {
+            live_peak: 100,
+            held_peak: 135,
+            ..Default::default()
+        };
+        assert!((snap.fragmentation().unwrap() - 1.35).abs() < 1e-9);
+        assert_eq!(AllocSnapshot::default().fragmentation(), None);
+    }
+
+    #[test]
+    fn with_source_merges_held() {
+        let snap = AllocSnapshot::default().with_source(crate::SourceStats {
+            held_current: 7,
+            held_peak: 9,
+            chunk_allocs: 1,
+            chunk_frees: 0,
+        });
+        assert_eq!(snap.held_current, 7);
+        assert_eq!(snap.held_peak, 9);
+    }
+
+    #[test]
+    fn peak_max_is_monotone_under_contention() {
+        let peak = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let peak = &peak;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        peak_max(peak, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::Relaxed), 3999);
+    }
+}

@@ -1,0 +1,61 @@
+//! Small alignment and geometry helpers.
+
+/// Cache line size of the modelled machine (matches `hoard_sim`).
+pub const CACHE_LINE: usize = 64;
+
+/// Minimum alignment every allocator in this workspace guarantees.
+pub const MIN_ALIGN: usize = 8;
+
+/// Round `x` up to the next multiple of `align` (a power of two).
+///
+/// # Panics
+///
+/// Debug-asserts that `align` is a nonzero power of two.
+pub const fn align_up(x: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+/// Round `x` down to the previous multiple of `align` (a power of two).
+///
+/// # Panics
+///
+/// Debug-asserts that `align` is a nonzero power of two.
+pub const fn align_down(x: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    x & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(8191, 8192), 8192);
+    }
+
+    #[test]
+    fn align_down_basics() {
+        assert_eq!(align_down(0, 8), 0);
+        assert_eq!(align_down(7, 8), 0);
+        assert_eq!(align_down(8, 8), 8);
+        assert_eq!(align_down(8193, 8192), 8192);
+    }
+
+    #[test]
+    fn up_down_bracket_value() {
+        for x in [0usize, 1, 63, 64, 65, 1000, 4095, 4096] {
+            for a in [8usize, 64, 4096] {
+                assert!(align_down(x, a) <= x);
+                assert!(align_up(x, a) >= x);
+                assert_eq!(align_up(x, a) % a, 0);
+                assert_eq!(align_down(x, a) % a, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! A lossy cache-line directory modelling coherence traffic.
+//!
+//! The model tracks, per 64-byte line, which virtual processor last
+//! *wrote* it. Touching a line whose last writer is another processor
+//! costs [`Cost::CacheRemote`] (a coherence transfer); touching one's own
+//! line costs [`Cost::CacheHit`]. That asymmetry is all that is needed to
+//! reproduce the paper's false-sharing results: `active-false` and
+//! `passive-false` hammer lines that — under a non-heap-partitioned
+//! allocator — are shared between threads, so every write pays the remote
+//! cost, while Hoard's per-heap superblocks keep each thread's objects on
+//! private lines.
+//!
+//! The directory is a fixed-size, lock-free, *lossy* open hash of
+//! `AtomicU64` entries (line address tag ⊕ owner id). Collisions simply
+//! overwrite — acceptable for a cost model and essential for an
+//! allocation-free hot path.
+
+use crate::clock::{charge, current_proc};
+use crate::cost::{self, Cost};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache line size of the modelled machine, in bytes.
+pub const LINE: usize = 64;
+
+const DIR_BITS: usize = 16;
+const DIR_SIZE: usize = 1 << DIR_BITS;
+
+/// The cache-line directory. One process-global instance is used by
+/// [`crate::touch`]; independent instances can be made for unit tests.
+pub struct CacheModel {
+    /// Each slot packs `(line_tag << 16) | owner_proc`, 0 = empty.
+    dir: Box<[AtomicU64]>,
+    /// Exact residency directory: line address → per-processor counts of
+    /// *live registered blocks* touching the line. A line with live
+    /// blocks of two or more processors is **shared**, and every write
+    /// to it pays the remote cost — this is how allocator-induced false
+    /// sharing becomes visible even on a single-core host, where real
+    /// thread interleaving is too coarse for the last-writer model
+    /// alone. Workloads register blocks on allocation (see
+    /// [`register_block`](Self::register_block)).
+    residency: Mutex<HashMap<usize, ProcCounts>>,
+    remote_transfers: AtomicU64,
+    local_hits: AtomicU64,
+}
+
+/// Per-line counts of live blocks per processor (small inline map).
+#[derive(Debug, Default, Clone)]
+struct ProcCounts {
+    entries: Vec<(usize, u32)>, // (proc, live blocks)
+}
+
+impl ProcCounts {
+    fn add(&mut self, proc_id: usize) {
+        for (p, n) in &mut self.entries {
+            if *p == proc_id {
+                *n += 1;
+                return;
+            }
+        }
+        self.entries.push((proc_id, 1));
+    }
+
+    /// Returns true when the line became completely unoccupied.
+    fn remove(&mut self, proc_id: usize) -> bool {
+        if let Some(i) = self.entries.iter().position(|(p, _)| *p == proc_id) {
+            self.entries[i].1 -= 1;
+            if self.entries[i].1 == 0 {
+                self.entries.swap_remove(i);
+            }
+        }
+        self.entries.is_empty()
+    }
+
+    fn shared_beyond(&self, proc_id: usize) -> bool {
+        self.entries.iter().any(|(p, n)| *p != proc_id && *n > 0)
+    }
+}
+
+impl std::fmt::Debug for CacheModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheModel")
+            .field("slots", &self.dir.len())
+            .field("remote_transfers", &self.remote_transfers())
+            .field("local_hits", &self.local_hits())
+            .finish()
+    }
+}
+
+impl CacheModel {
+    /// Create a directory with the default number of slots.
+    pub fn new() -> Self {
+        let dir: Vec<AtomicU64> = (0..DIR_SIZE).map(|_| AtomicU64::new(0)).collect();
+        CacheModel {
+            dir: dir.into_boxed_slice(),
+            residency: Mutex::new(HashMap::new()),
+            remote_transfers: AtomicU64::new(0),
+            local_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Record that the calling processor now owns a live block at
+    /// `ptr..ptr+len`; its cache lines become (co-)resident.
+    pub fn register_block(&self, ptr: *mut u8, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let me = current_proc();
+        let mut map = self.residency.lock().expect("residency poisoned");
+        let mut line = ptr as usize & !(LINE - 1);
+        let end = ptr as usize + len;
+        while line < end {
+            map.entry(line).or_default().add(me);
+            line += LINE;
+        }
+    }
+
+    /// Remove a block previously recorded with
+    /// [`register_block`](Self::register_block). The *freeing* processor
+    /// may differ from the registering one; pass the registering
+    /// processor's id as `owner_proc`.
+    pub fn unregister_block(&self, ptr: *mut u8, len: usize, owner_proc: usize) {
+        if len == 0 {
+            return;
+        }
+        let mut map = self.residency.lock().expect("residency poisoned");
+        let mut line = ptr as usize & !(LINE - 1);
+        let end = ptr as usize + len;
+        while line < end {
+            if let Some(counts) = map.get_mut(&line) {
+                if counts.remove(owner_proc) {
+                    map.remove(&line);
+                }
+            }
+            line += LINE;
+        }
+    }
+
+    fn line_is_shared(&self, line: usize, me: usize) -> bool {
+        let map = self.residency.lock().expect("residency poisoned");
+        map.get(&line).is_some_and(|c| c.shared_beyond(me))
+    }
+
+    /// Touch `len` bytes at `ptr`, charging per-line costs to the calling
+    /// virtual processor and recording it as owner of written lines.
+    ///
+    /// When `write` is true one byte per line is actually written
+    /// (volatile), so the host memory system sees the traffic too.
+    pub fn touch(&self, ptr: *mut u8, len: usize, write: bool) {
+        if len == 0 {
+            return;
+        }
+        let me = current_proc() as u64;
+        let start = ptr as usize & !(LINE - 1);
+        let end = ptr as usize + len;
+        let mut line = start;
+        let mut cost_units = 0u64;
+        let mut remote = 0u64;
+        let mut local = 0u64;
+        while line < end {
+            let slot = &self.dir[Self::slot(line)];
+            let tag = Self::tag(line);
+            let cur = slot.load(Ordering::Relaxed);
+            let owned_by_me = cur >> 16 == tag && (cur & 0xFFFF) == (me & 0xFFFF);
+            // A line co-resident with another processor's live block is
+            // in perpetual coherence conflict: writes always pay the
+            // remote cost (allocator-induced false sharing). Otherwise
+            // fall back to the last-writer migration model.
+            let shared = write && self.line_is_shared(line, me as usize);
+            if owned_by_me && !shared {
+                cost_units += cost::get(Cost::CacheHit);
+                local += 1;
+            } else {
+                cost_units += cost::get(Cost::CacheRemote);
+                remote += 1;
+            }
+            if write {
+                slot.store((tag << 16) | (me & 0xFFFF), Ordering::Relaxed);
+                // Real traffic: one volatile byte per line keeps the
+                // access pattern honest without dominating host runtime.
+                unsafe {
+                    let p = line.max(ptr as usize) as *mut u8;
+                    std::ptr::write_volatile(p, std::ptr::read_volatile(p).wrapping_add(1));
+                }
+            }
+            line += LINE;
+        }
+        charge(cost_units);
+        if remote > 0 {
+            self.remote_transfers.fetch_add(remote, Ordering::Relaxed);
+        }
+        if local > 0 {
+            self.local_hits.fetch_add(local, Ordering::Relaxed);
+        }
+    }
+
+    /// Total remote (cross-processor) line transfers recorded.
+    pub fn remote_transfers(&self) -> u64 {
+        self.remote_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Total owner-local line touches recorded.
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits.load(Ordering::Relaxed)
+    }
+
+    /// Clear directory, residency and counters (between experiment runs).
+    pub fn reset(&self) {
+        for slot in self.dir.iter() {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.residency.lock().expect("residency poisoned").clear();
+        self.remote_transfers.store(0, Ordering::Relaxed);
+        self.local_hits.store(0, Ordering::Relaxed);
+    }
+
+    fn slot(line_addr: usize) -> usize {
+        // Fibonacci hashing of the line index.
+        let idx = (line_addr / LINE) as u64;
+        ((idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> (64 - DIR_BITS)) as usize
+    }
+
+    fn tag(line_addr: usize) -> u64 {
+        ((line_addr / LINE) as u64) & 0xFFFF_FFFF_FFFF
+    }
+}
+
+impl Default for CacheModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-global directory used by [`crate::touch`].
+pub fn global() -> &'static CacheModel {
+    use std::sync::OnceLock;
+    static GLOBAL: OnceLock<CacheModel> = OnceLock::new();
+    GLOBAL.get_or_init(CacheModel::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::now;
+
+    fn buf() -> Box<[u8; 4 * LINE]> {
+        Box::new([0u8; 4 * LINE])
+    }
+
+    #[test]
+    fn first_touch_is_remote_then_local() {
+        let m = CacheModel::new();
+        let mut b = buf();
+        let p = b.as_mut_ptr();
+        m.touch(p, 8, true);
+        assert_eq!(m.remote_transfers(), 1, "cold line counts as transfer");
+        m.touch(p, 8, true);
+        assert_eq!(m.remote_transfers(), 1);
+        assert_eq!(m.local_hits(), 1);
+    }
+
+    #[test]
+    fn write_from_other_proc_invalidates() {
+        // Simulate the other processor by lying about ownership: write
+        // from a spawned thread (different proc id), then touch here.
+        let m = std::sync::Arc::new(CacheModel::new());
+        let mut b = buf();
+        let p = b.as_mut_ptr() as usize;
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || {
+            m2.touch(p as *mut u8, 8, true);
+        })
+        .join()
+        .unwrap();
+        let before = m.remote_transfers();
+        m.touch(p as *mut u8, 8, true);
+        assert_eq!(m.remote_transfers(), before + 1, "line owned elsewhere");
+        m.touch(p as *mut u8, 8, true);
+        assert_eq!(m.remote_transfers(), before + 1, "now owned locally");
+    }
+
+    #[test]
+    fn touch_spans_all_lines() {
+        let m = CacheModel::new();
+        let mut b = buf();
+        // Touch a range crossing 3 lines starting mid-line.
+        m.touch(unsafe { b.as_mut_ptr().add(32) }, 2 * LINE, true);
+        assert_eq!(m.remote_transfers() + m.local_hits(), 3);
+    }
+
+    #[test]
+    fn touch_charges_virtual_time() {
+        let m = CacheModel::new();
+        let mut b = buf();
+        let t0 = now();
+        m.touch(b.as_mut_ptr(), 8, true);
+        assert!(now() > t0);
+    }
+
+    #[test]
+    fn reads_do_not_take_ownership() {
+        let m = std::sync::Arc::new(CacheModel::new());
+        let mut b = buf();
+        let p = b.as_mut_ptr() as usize;
+        let m2 = std::sync::Arc::clone(&m);
+        // Another proc owns the line.
+        std::thread::spawn(move || m2.touch(p as *mut u8, 8, true))
+            .join()
+            .unwrap();
+        let r0 = m.remote_transfers();
+        m.touch(p as *mut u8, 8, false); // read: remote, but no ownership change
+        m.touch(p as *mut u8, 8, false); // still remote
+        assert_eq!(m.remote_transfers(), r0 + 2);
+    }
+
+    #[test]
+    fn zero_length_touch_is_free() {
+        let m = CacheModel::new();
+        let t0 = now();
+        m.touch(std::ptr::NonNull::<u8>::dangling().as_ptr(), 0, true);
+        assert_eq!(now(), t0);
+        assert_eq!(m.remote_transfers() + m.local_hits(), 0);
+    }
+
+    #[test]
+    fn co_resident_lines_make_writes_remote() {
+        let m = std::sync::Arc::new(CacheModel::new());
+        let mut b = buf();
+        let p = b.as_mut_ptr() as usize;
+        // I own the line (write once)...
+        m.touch(p as *mut u8, 8, true);
+        m.touch(p as *mut u8, 8, true);
+        let baseline_remote = m.remote_transfers();
+        // ...then another processor registers a live block on it.
+        let m2 = std::sync::Arc::clone(&m);
+        let other = std::thread::spawn(move || {
+            m2.register_block((p + 16) as *mut u8, 8);
+            crate::current_proc()
+        })
+        .join()
+        .unwrap();
+        m.touch(p as *mut u8, 8, true);
+        assert_eq!(
+            m.remote_transfers(),
+            baseline_remote + 1,
+            "write to a shared line must be remote"
+        );
+        // Unregister (freeing proc differs from owner — allowed).
+        m.unregister_block((p + 16) as *mut u8, 8, other);
+        m.touch(p as *mut u8, 8, true);
+        m.touch(p as *mut u8, 8, true);
+        assert_eq!(
+            m.remote_transfers(),
+            baseline_remote + 1,
+            "exclusive again after unregister"
+        );
+    }
+
+    #[test]
+    fn own_registered_blocks_do_not_conflict() {
+        let m = CacheModel::new();
+        let mut b = buf();
+        let p = b.as_mut_ptr();
+        m.register_block(p, 8);
+        m.register_block(unsafe { p.add(16) }, 8);
+        m.touch(p, 8, true);
+        m.touch(p, 8, true);
+        assert_eq!(m.local_hits(), 1, "self-sharing is not false sharing");
+        m.unregister_block(p, 8, crate::current_proc());
+        m.unregister_block(unsafe { p.add(16) }, 8, crate::current_proc());
+    }
+
+    #[test]
+    fn reads_of_shared_lines_are_not_penalized_by_residency() {
+        // Only writes trigger the perpetual-conflict rule; reads use the
+        // last-writer model alone.
+        let m = std::sync::Arc::new(CacheModel::new());
+        let mut b = buf();
+        let p = b.as_mut_ptr() as usize;
+        m.touch(p as *mut u8, 8, true); // own it
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || m2.register_block((p + 16) as *mut u8, 8))
+            .join()
+            .unwrap();
+        let before = m.local_hits();
+        m.touch(p as *mut u8, 8, false); // read
+        assert_eq!(m.local_hits(), before + 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let m = CacheModel::new();
+        let mut b = buf();
+        m.touch(b.as_mut_ptr(), 8, true);
+        m.reset();
+        assert_eq!(m.remote_transfers(), 0);
+        assert_eq!(m.local_hits(), 0);
+        m.touch(b.as_mut_ptr(), 8, true);
+        assert_eq!(m.remote_transfers(), 1, "directory forgot ownership");
+    }
+}

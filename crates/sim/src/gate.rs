@@ -1,0 +1,202 @@
+//! Virtual-time ordering gate — conservative scheduling for the
+//! single-host simulation.
+//!
+//! On a multiprocessor, threads contend for a lock at roughly the times
+//! their (virtual) clocks say; on this simulator's single-core host, the
+//! OS may run one worker to completion before another starts, so the
+//! *real* acquisition order can be wildly different from virtual-time
+//! order. A naive virtually-timed lock then produces a convoy: the late
+//! runner inherits the early runner's *final* release time and the
+//! simulation degenerates to full serialization.
+//!
+//! The fix is the conservative discrete-event rule: before acquiring a
+//! lock (the only ordering-sensitive operation), a worker whose virtual
+//! clock is more than a small window ahead of the slowest *runnable*
+//! worker in its machine yields the host CPU until the laggards catch
+//! up. Blocked workers (waiting at a barrier or on a channel) and
+//! finished workers are excluded from the minimum — their clocks only
+//! move when someone else progresses, so waiting on them would deadlock.
+//! Workers holding a lock are never gated (see [`crate::VLock`]), which
+//! keeps the protocol deadlock-free: the minimum-clock worker is always
+//! free to run.
+
+use crate::cache::CacheModel;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How far (in virtual units) a worker may run ahead of the slowest
+/// runnable worker before it yields. Smaller = more faithful ordering,
+/// more host yields.
+const WINDOW: u64 = 1_000;
+
+/// Yield budget before a gate gives up (escape hatch against
+/// pathological schedules; counted in [`MachineState::gate_timeouts`]).
+const YIELD_LIMIT: u32 = 20_000;
+
+/// Worker states for the gate's minimum computation.
+pub(crate) const STATE_ACTIVE: u8 = 0;
+pub(crate) const STATE_BLOCKED: u8 = 1;
+pub(crate) const STATE_DONE: u8 = 2;
+
+/// Shared per-machine scheduling state, including the machine's own
+/// cache model (so concurrent machines — e.g. parallel tests — cannot
+/// interfere with each other's coherence state).
+#[derive(Debug)]
+pub(crate) struct MachineState {
+    pub clocks: Vec<AtomicU64>,
+    pub states: Vec<AtomicU8>,
+    pub gate_timeouts: AtomicUsize,
+    pub cache: CacheModel,
+}
+
+impl MachineState {
+    pub fn new(processors: usize) -> Arc<Self> {
+        Arc::new(MachineState {
+            clocks: (0..processors).map(|_| AtomicU64::new(0)).collect(),
+            states: (0..processors).map(|_| AtomicU8::new(STATE_ACTIVE)).collect(),
+            gate_timeouts: AtomicUsize::new(0),
+            cache: CacheModel::new(),
+        })
+    }
+
+    /// Minimum clock over *other* active workers, or `None` when every
+    /// other worker is blocked or done.
+    fn min_other_active(&self, me: usize) -> Option<u64> {
+        let mut min = None;
+        for i in 0..self.clocks.len() {
+            if i == me || self.states[i].load(Ordering::Relaxed) != STATE_ACTIVE {
+                continue;
+            }
+            let c = self.clocks[i].load(Ordering::Relaxed);
+            min = Some(min.map_or(c, |m: u64| m.min(c)));
+        }
+        min
+    }
+}
+
+thread_local! {
+    /// This worker's machine context (owns an Arc, keeping it alive) +
+    /// slot index.
+    static CTX: std::cell::RefCell<Option<(Arc<MachineState>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Depth of currently held [`crate::VLock`]s; gating only at depth 0.
+    static LOCK_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Attach the calling worker to `state` as processor `idx`.
+pub(crate) fn attach(state: &Arc<MachineState>, idx: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(state), idx)));
+}
+
+/// Detach the calling worker (marks it done).
+pub(crate) fn detach() {
+    CTX.with(|c| {
+        if let Some((state, idx)) = c.borrow_mut().take() {
+            state.states[idx].store(STATE_DONE, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Publish the calling worker's clock to its machine slot (no-op for
+/// non-machine threads).
+pub(crate) fn publish(clock: u64) {
+    CTX.with(|c| {
+        if let Some((state, idx)) = c.borrow().as_ref() {
+            state.clocks[*idx].store(clock, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The calling worker's machine cache model, if attached to a machine.
+pub(crate) fn machine_cache<T>(f: impl FnOnce(&CacheModel) -> T) -> Option<T> {
+    CTX.with(|c| c.borrow().as_ref().map(|(state, _)| f(&state.cache)))
+}
+
+/// Mark the calling worker blocked (excluded from gate minima) while `f`
+/// performs a real blocking wait.
+pub(crate) fn while_blocked<T>(f: impl FnOnce() -> T) -> T {
+    let ctx = CTX.with(|c| c.borrow().clone());
+    if let Some((state, idx)) = ctx {
+        state.states[idx].store(STATE_BLOCKED, Ordering::Relaxed);
+        let out = f();
+        state.states[idx].store(STATE_ACTIVE, Ordering::Relaxed);
+        out
+    } else {
+        f()
+    }
+}
+
+/// Current lock-hold depth of this thread.
+pub(crate) fn lock_depth() -> u32 {
+    LOCK_DEPTH.with(|d| d.get())
+}
+
+pub(crate) fn inc_lock_depth() {
+    LOCK_DEPTH.with(|d| d.set(d.get() + 1));
+}
+
+pub(crate) fn dec_lock_depth() {
+    LOCK_DEPTH.with(|d| d.set(d.get() - 1));
+}
+
+/// The ordering gate: yield the host CPU until this worker's virtual
+/// clock is within [`WINDOW`] of the slowest runnable peer. Called by
+/// [`crate::VLock::lock`] at lock depth 0.
+pub(crate) fn gate(my_clock: u64) {
+    let Some((state, idx)) = CTX.with(|c| c.borrow().clone()) else {
+        return;
+    };
+    state.clocks[idx].store(my_clock, Ordering::Relaxed);
+    let mut spins = 0u32;
+    loop {
+        match state.min_other_active(idx) {
+            Some(min) if my_clock > min + WINDOW => {
+                spins += 1;
+                if spins > YIELD_LIMIT {
+                    state.gate_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                std::thread::yield_now();
+            }
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_machine_threads_are_never_gated() {
+        // Must return immediately: no context attached.
+        gate(u64::MAX);
+    }
+
+    #[test]
+    fn min_excludes_blocked_done_and_self() {
+        let s = MachineState::new(4);
+        s.clocks[0].store(10, Ordering::Relaxed);
+        s.clocks[1].store(20, Ordering::Relaxed);
+        s.clocks[2].store(5, Ordering::Relaxed);
+        s.clocks[3].store(1, Ordering::Relaxed);
+        s.states[2].store(STATE_BLOCKED, Ordering::Relaxed);
+        s.states[3].store(STATE_DONE, Ordering::Relaxed);
+        assert_eq!(s.min_other_active(0), Some(20));
+        assert_eq!(s.min_other_active(1), Some(10));
+        s.states[0].store(STATE_DONE, Ordering::Relaxed);
+        assert_eq!(s.min_other_active(1), None, "nobody else runnable");
+    }
+
+    #[test]
+    fn lock_depth_nests() {
+        assert_eq!(lock_depth(), 0);
+        inc_lock_depth();
+        inc_lock_depth();
+        assert_eq!(lock_depth(), 2);
+        dec_lock_depth();
+        dec_lock_depth();
+        assert_eq!(lock_depth(), 0);
+    }
+}

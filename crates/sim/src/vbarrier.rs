@@ -1,0 +1,111 @@
+//! Virtual-time barrier.
+//!
+//! A real [`std::sync::Barrier`] augmented with virtual-time semantics:
+//! all participants leave the barrier at the *maximum* of their arrival
+//! clocks plus a barrier cost — nobody proceeds before the slowest
+//! virtual processor arrives. Used by phase-structured workloads
+//! (BEM-like solver, Barnes–Hut steps).
+//!
+//! Because virtual clocks are monotone within a machine run, the running
+//! maximum never needs resetting between generations: every participant
+//! leaves generation `g` at `M_g + barrier cost`, so all generation
+//! `g+1` arrivals strictly exceed `M_g` and `fetch_max` does the right
+//! thing. A `VBarrier` must therefore not be reused across *separate*
+//! [`crate::Machine::run`] invocations (which reset clocks to zero);
+//! workloads create a fresh barrier per run.
+
+use crate::clock;
+use crate::cost::{self, Cost};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// A virtual-time barrier for a fixed set of participants, reusable
+/// across generations within a single machine run.
+#[derive(Debug)]
+pub struct VBarrier {
+    real: Barrier,
+    /// Running maximum arrival clock (monotone across generations).
+    max_arrival: AtomicU64,
+    /// Second rendezvous: everyone reads `max_arrival` before anyone may
+    /// re-arrive and bump it for the next generation.
+    settle: Barrier,
+}
+
+impl VBarrier {
+    /// Create a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        VBarrier {
+            real: Barrier::new(n),
+            max_arrival: AtomicU64::new(0),
+            settle: Barrier::new(n),
+        }
+    }
+
+    /// Wait for all participants; on return every participant's virtual
+    /// clock is at least `max(arrival clocks) + Barrier cost`.
+    pub fn wait(&self) {
+        self.max_arrival.fetch_max(clock::now(), Ordering::Relaxed);
+        // Blocked workers are excluded from the ordering gate's minimum
+        // (their clocks cannot advance until everyone arrives).
+        crate::gate::while_blocked(|| {
+            self.real.wait();
+        });
+        let t = self.max_arrival.load(Ordering::Relaxed) + cost::get(Cost::Barrier);
+        clock::set_clock(t);
+        crate::gate::while_blocked(|| {
+            self.settle.wait();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{charge, now};
+    use std::sync::Arc;
+
+    #[test]
+    fn everyone_leaves_at_the_slowest_clock() {
+        let b = Arc::new(VBarrier::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    clock::set_clock(0); // fresh threads start at 0 anyway
+                    charge((i as u64 + 1) * 1000);
+                    b.wait();
+                    now()
+                })
+            })
+            .collect();
+        let times: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let expected = 3000 + crate::CostModel::current().barrier;
+        for t in &times {
+            assert_eq!(*t, expected);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_every_generation() {
+        let b = Arc::new(VBarrier::new(2));
+        let per_round: Vec<_> = (0..2)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let mut exits = Vec::new();
+                    for round in 0..5u64 {
+                        charge((i as u64 + 1) * 10 + round);
+                        b.wait();
+                        exits.push(now());
+                    }
+                    exits
+                })
+            })
+            .collect();
+        let results: Vec<Vec<u64>> = per_round.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results[0], results[1], "both exit each round synchronized");
+        for w in results[0].windows(2) {
+            assert!(w[1] > w[0], "generations strictly advance");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! `consume` — the producer–consumer blowup demonstration.
+//!
+//! The paper's Sections 2–3 derive each allocator class's *blowup*: the
+//! worst-case ratio of memory held to an ideal allocator's footprint.
+//! This workload realizes the adversarial pattern: one producer
+//! allocates batches of objects and hands them to consumers, which free
+//! them. The program's live memory stays at one batch; the allocator's
+//! *held* memory reveals its blowup class — flat for Hoard and serial,
+//! `O(P)`-ish for ownership/caching allocators, linear in rounds
+//! (unbounded) for pure private heaps.
+
+use crate::{LiveMeter, Obj, WorkloadResult};
+use hoard_mem::MtAllocator;
+use hoard_sim::{vchannel, Machine};
+
+/// Parameters for [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Producer rounds.
+    pub rounds: usize,
+    /// Objects per round.
+    pub batch: usize,
+    /// Object size in bytes.
+    pub size: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            rounds: 50,
+            batch: 100,
+            size: 256,
+        }
+    }
+}
+
+/// Result of [`run`]: the standard result plus the held-memory series
+/// (one sample after each round) — the data behind the blowup figure.
+#[derive(Debug, Clone)]
+pub struct ConsumeResult {
+    /// Standard workload accounting.
+    pub result: WorkloadResult,
+    /// `held_current` after each producer round.
+    pub held_series: Vec<u64>,
+}
+
+/// Run the producer–consumer pattern on `threads` processors (1 producer
+/// on processor 0, consumers round-robin on the rest; with `threads == 1`
+/// the single processor plays both roles, which trivially reuses memory).
+pub fn run(alloc: &dyn MtAllocator, threads: usize, params: &Params) -> ConsumeResult {
+    hoard_sim::reset_cache();
+    let meter = LiveMeter::new();
+    let (tx, rx) = vchannel::<Vec<Obj>>();
+    let (ack_tx, ack_rx) = vchannel::<u64>();
+    let held_series = std::sync::Mutex::new(vec![0u64; params.rounds]);
+    // The producer *takes* the only sender (and the only ack receiver);
+    // consumers detect completion when the sender drops, so no clone of
+    // `tx` may survive outside the producer worker.
+    let tx_slot = std::sync::Mutex::new(Some(tx));
+    let ack_rx_slot = std::sync::Mutex::new(Some(ack_rx));
+
+    let report = Machine::new(threads).run(|proc| {
+        let meter = &meter;
+        let rx = rx.clone();
+        let ack_tx = ack_tx.clone();
+        let producer_ends = if proc == 0 {
+            Some((
+                tx_slot.lock().expect("tx slot").take().expect("one producer"),
+                ack_rx_slot
+                    .lock()
+                    .expect("ack slot")
+                    .take()
+                    .expect("one producer"),
+            ))
+        } else {
+            None
+        };
+        let held_series = &held_series;
+        move || {
+            if let Some((tx, ack_rx)) = producer_ends {
+                drop(rx);
+                for round in 0..params.rounds {
+                    let batch: Vec<Obj> = (0..params.batch)
+                        .map(|_| Obj::alloc(alloc, meter, params.size))
+                        .collect();
+                    if threads == 1 {
+                        for obj in batch {
+                            obj.free(alloc, meter);
+                        }
+                    } else {
+                        tx.send(batch).expect("consumers alive");
+                        // Wait for the consumer's ack so held_current is
+                        // sampled at a quiescent point each round.
+                        ack_rx.recv().expect("consumer alive");
+                    }
+                    held_series.lock().expect("series")[round] =
+                        alloc.stats().held_current;
+                }
+            } else {
+                // Consumers: drain until the producer hangs up.
+                while let Ok(batch) = rx.recv() {
+                    for obj in batch {
+                        obj.free(alloc, meter);
+                    }
+                    let _ = ack_tx.send(1);
+                }
+            }
+        }
+    });
+
+    ConsumeResult {
+        result: WorkloadResult {
+            makespan: report.makespan(),
+            ops: (params.rounds * params.batch * 2) as u64,
+            max_live_requested: meter.peak(),
+            snapshot: alloc.stats(),
+            report,
+        },
+        held_series: held_series.into_inner().expect("series"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_baselines::PurePrivateAllocator;
+    use hoard_core::HoardAllocator;
+
+    fn small() -> Params {
+        Params {
+            rounds: 20,
+            batch: 50,
+            size: 256,
+        }
+    }
+
+    #[test]
+    fn hoard_footprint_is_flat() {
+        let h = HoardAllocator::new_default();
+        let r = run(&h, 2, &small());
+        assert_eq!(r.result.snapshot.live_current, 0);
+        let early = r.held_series[4];
+        let late = *r.held_series.last().unwrap();
+        assert!(
+            late <= early + h.config().superblock_size as u64,
+            "hoard must reuse: early={early} late={late}"
+        );
+    }
+
+    #[test]
+    fn pure_private_footprint_grows_linearly() {
+        let a = PurePrivateAllocator::new();
+        let r = run(&a, 2, &small());
+        let early = r.held_series[4];
+        let late = *r.held_series.last().unwrap();
+        assert!(
+            late > early + 3 * hoard_baselines::BASELINE_CHUNK as u64 / 2,
+            "pure-private must grow: early={early} late={late}"
+        );
+    }
+
+    #[test]
+    fn single_thread_degenerates_gracefully() {
+        let h = HoardAllocator::new_default();
+        let r = run(&h, 1, &small());
+        assert_eq!(r.result.snapshot.live_current, 0);
+        assert_eq!(r.held_series.len(), 20);
+    }
+}

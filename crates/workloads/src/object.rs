@@ -1,0 +1,139 @@
+//! Workload-level object handles.
+//!
+//! [`Obj`] bundles everything the benchmarks do with a heap block:
+//! allocate it (registering it with the cache model's residency
+//! directory and metering requested bytes), write it (billing cache
+//! costs), pass it between threads, and free it.
+
+use crate::meter::LiveMeter;
+use hoard_mem::MtAllocator;
+use hoard_sim::current_proc;
+use std::ptr::NonNull;
+
+/// A live workload object: payload pointer, requested size, and the
+/// virtual processor that allocated it. Sendable across threads (the
+/// benchmarks bleed objects between workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Obj {
+    addr: usize,
+    size: u32,
+    owner_proc: u32,
+}
+
+// Safety: Obj is a handle; the underlying block is owned by whichever
+// thread currently holds the handle (move semantics enforced by use).
+unsafe impl Send for Obj {}
+
+impl Obj {
+    /// Allocate `size` bytes from `alloc`, register the block with the
+    /// cache model, write it once, and meter it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator is exhausted (workloads treat OOM as
+    /// fatal, as the paper's C benchmarks do).
+    pub fn alloc(alloc: &dyn MtAllocator, meter: &LiveMeter, size: usize) -> Obj {
+        let p = unsafe { alloc.allocate(size) }.expect("workload allocation failed");
+        hoard_sim::register_block(p.as_ptr(), size);
+        unsafe { hoard_sim::touch(p.as_ptr(), size, true) };
+        meter.on_alloc(size as u64);
+        Obj {
+            addr: p.as_ptr() as usize,
+            size: size as u32,
+            owner_proc: current_proc() as u32,
+        }
+    }
+
+    /// Write the object (cache-modelled plus a real volatile write).
+    pub fn write(&self) {
+        unsafe { hoard_sim::touch(self.addr as *mut u8, self.size as usize, true) };
+    }
+
+    /// Read the object (cache-modelled).
+    pub fn read(&self) {
+        unsafe { hoard_sim::touch(self.addr as *mut u8, self.size as usize, false) };
+    }
+
+    /// Free the object back to `alloc` (any thread may call this).
+    pub fn free(self, alloc: &dyn MtAllocator, meter: &LiveMeter) {
+        hoard_sim::unregister_block(
+            self.addr as *mut u8,
+            self.size as usize,
+            self.owner_proc as usize,
+        );
+        meter.on_free(self.size as u64);
+        unsafe { alloc.deallocate(NonNull::new_unchecked(self.addr as *mut u8)) };
+    }
+
+    /// Requested size in bytes.
+    pub fn size(&self) -> usize {
+        self.size as usize
+    }
+
+    /// Payload address (for adjacency assertions in tests).
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Host(hoard_mem::AllocStats);
+
+    unsafe impl MtAllocator for Host {
+        fn name(&self) -> &'static str {
+            "host-test"
+        }
+        unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
+            let layout =
+                std::alloc::Layout::from_size_align(size.max(8) + 8, 8).ok()?;
+            let raw = NonNull::new(std::alloc::alloc(layout))?;
+            let payload = raw.as_ptr().add(8);
+            hoard_mem::write_header(
+                payload,
+                hoard_mem::HeaderWord::from_int(hoard_mem::Tag::Baseline, size),
+            );
+            self.0.on_alloc(size as u64);
+            Some(NonNull::new_unchecked(payload))
+        }
+        unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+            let size = hoard_mem::read_header(ptr.as_ptr()).to_int();
+            self.0.on_free(size as u64, false);
+            let layout =
+                std::alloc::Layout::from_size_align(size.max(8) + 8, 8).unwrap();
+            std::alloc::dealloc(ptr.as_ptr().sub(8), layout);
+        }
+        fn stats(&self) -> hoard_mem::AllocSnapshot {
+            self.0.snapshot()
+        }
+        unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
+            hoard_mem::read_header(ptr.as_ptr()).to_int()
+        }
+    }
+
+    #[test]
+    fn lifecycle_meters_and_accounts() {
+        let alloc = Host(hoard_mem::AllocStats::new());
+        let meter = LiveMeter::new();
+        let o = Obj::alloc(&alloc, &meter, 123);
+        assert_eq!(o.size(), 123);
+        assert_eq!(meter.live(), 123);
+        o.write();
+        o.read();
+        o.free(&alloc, &meter);
+        assert_eq!(meter.live(), 0);
+        assert_eq!(alloc.stats().live_current, 0);
+    }
+
+    #[test]
+    fn objects_are_sendable_and_freeable_remotely() {
+        let alloc = std::sync::Arc::new(Host(hoard_mem::AllocStats::new()));
+        let meter = std::sync::Arc::new(LiveMeter::new());
+        let o = Obj::alloc(&*alloc, &meter, 64);
+        let (a, m) = (std::sync::Arc::clone(&alloc), std::sync::Arc::clone(&meter));
+        std::thread::spawn(move || o.free(&*a, &m)).join().unwrap();
+        assert_eq!(meter.live(), 0);
+    }
+}

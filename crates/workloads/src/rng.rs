@@ -1,0 +1,76 @@
+//! A tiny deterministic PRNG (SplitMix64-seeded xorshift*), so every
+//! workload run is reproducible given `(seed, processor id)` without
+//! external crates' feature flags.
+
+/// Deterministic 64-bit PRNG for workload generators.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed from a workload seed and the processor id.
+    pub(crate) fn new(seed: u64, proc_id: usize) -> Self {
+        // SplitMix64 step to decorrelate nearby seeds.
+        let mut z = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((proc_id as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub(crate) fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_proc() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42, 3);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42, 3);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(42, 4);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "different procs get different streams");
+    }
+
+    #[test]
+    fn range_is_inclusive_and_in_bounds() {
+        let mut r = Rng::new(7, 0);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(3, 7);
+            assert!((3..=7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 7;
+        }
+        assert!(seen_lo && seen_hi, "range must cover both endpoints");
+    }
+}

@@ -1,0 +1,128 @@
+//! `threadtest` — the paper's allocator-bound churn benchmark.
+//!
+//! A fixed total amount of work is split over `P` threads: each thread
+//! repeatedly allocates a batch of equal-sized objects, writes them,
+//! performs a little computation, and frees the batch. Nearly every
+//! cycle goes through the allocator, so this benchmark exposes raw
+//! `malloc`/`free` scalability: a serial allocator's lock becomes the
+//! whole program.
+
+use crate::{LiveMeter, Obj, WorkloadResult};
+use hoard_mem::MtAllocator;
+use hoard_sim::{work, Machine};
+
+/// Parameters for [`run`]. Defaults follow the paper's shape (many
+/// batches of tiny objects) at a scale that runs quickly in simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Total objects allocated across all threads (fixed total work).
+    pub total_objects: u64,
+    /// Objects per allocate-then-free batch.
+    pub batch: usize,
+    /// Object size in bytes (the paper uses small objects).
+    pub size: usize,
+    /// Local compute units per object (non-allocator work).
+    pub work_per_object: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            total_objects: 100_000,
+            batch: 100,
+            size: 8,
+            work_per_object: 30,
+        }
+    }
+}
+
+/// Run threadtest on `threads` virtual processors.
+pub fn run(alloc: &dyn MtAllocator, threads: usize, params: &Params) -> WorkloadResult {
+    hoard_sim::reset_cache();
+    let meter = LiveMeter::new();
+    let per_thread = params.total_objects / threads as u64;
+    let rounds = (per_thread / params.batch as u64).max(1);
+
+    let report = Machine::new(threads).run(|_proc| {
+        let meter = &meter;
+        move || {
+            let mut batch: Vec<Obj> = Vec::with_capacity(params.batch);
+            for _ in 0..rounds {
+                for _ in 0..params.batch {
+                    let obj = Obj::alloc(alloc, meter, params.size);
+                    work(params.work_per_object);
+                    batch.push(obj);
+                }
+                for obj in batch.drain(..) {
+                    obj.write();
+                    obj.free(alloc, meter);
+                }
+            }
+        }
+    });
+
+    let ops = rounds * params.batch as u64 * 2 * threads as u64;
+    WorkloadResult {
+        makespan: report.makespan(),
+        ops,
+        max_live_requested: meter.peak(),
+        snapshot: alloc.stats(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_baselines::SerialAllocator;
+    use hoard_core::HoardAllocator;
+
+    fn small() -> Params {
+        Params {
+            total_objects: 4_000,
+            batch: 50,
+            size: 8,
+            work_per_object: 30,
+        }
+    }
+
+    #[test]
+    fn completes_and_returns_everything() {
+        let h = HoardAllocator::new_default();
+        let r = run(&h, 4, &small());
+        assert!(r.makespan > 0);
+        assert_eq!(r.snapshot.live_current, 0, "all objects freed");
+        assert!(r.max_live_requested >= 50 * 8, "a batch was live at once");
+        assert!(r.ops >= 4_000);
+    }
+
+    #[test]
+    fn hoard_scales_where_serial_does_not() {
+        let p = small();
+        let t_hoard_1 = run(&HoardAllocator::new_default(), 1, &p).makespan;
+        let t_hoard_8 = run(&HoardAllocator::new_default(), 8, &p).makespan;
+        let t_serial_1 = run(&SerialAllocator::new(), 1, &p).makespan;
+        let t_serial_8 = run(&SerialAllocator::new(), 8, &p).makespan;
+        let hoard_speedup = t_hoard_1 as f64 / t_hoard_8 as f64;
+        let serial_speedup = t_serial_1 as f64 / t_serial_8 as f64;
+        assert!(
+            hoard_speedup > 3.0,
+            "hoard should scale well: {hoard_speedup:.2}x"
+        );
+        assert!(
+            serial_speedup < 1.5,
+            "serial must not scale: {serial_speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn fixed_total_work_regardless_of_threads() {
+        let p = small();
+        let r1 = run(&HoardAllocator::new_default(), 1, &p);
+        let r4 = run(&HoardAllocator::new_default(), 4, &p);
+        assert_eq!(r1.ops, r4.ops, "total work is thread-count invariant");
+        // Total allocations match the parameterization in both cases.
+        assert_eq!(r1.snapshot.allocs, 4_000);
+        assert_eq!(r4.snapshot.allocs, 4_000);
+    }
+}

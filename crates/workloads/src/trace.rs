@@ -1,0 +1,518 @@
+//! Allocation-trace recording and replay.
+//!
+//! Allocator research lives and dies by traces: a reproducible sequence
+//! of `malloc`/`free` events (with thread attribution) that can be
+//! replayed against any allocator. This module provides
+//!
+//! * [`Trace`] — a compact in-memory trace: per-thread event streams of
+//!   [`TraceOp`]s referring to objects by dense ids;
+//! * [`TraceBuilder`] — record a trace programmatically (or from a
+//!   generator);
+//! * [`synthesize`] — parameterized random-trace generation
+//!   (sizes, lifetimes, cross-thread free fraction) for quick studies;
+//! * [`replay`] — run a trace on any [`MtAllocator`] under the
+//!   simulated machine, with cross-thread frees routed through
+//!   sim-aware channels, returning the usual
+//!   [`WorkloadResult`];
+//! * a line-oriented text serialization (`to_text` / `from_text`) so
+//!   traces can be stored in files and diffed.
+
+use crate::rng::Rng;
+use crate::{LiveMeter, Obj, WorkloadResult};
+use hoard_mem::MtAllocator;
+use hoard_sim::{vchannel, work, Machine, VReceiver, VSender};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One event in a thread's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Allocate `size` bytes and bind the result to object `id`.
+    Alloc { id: u32, size: u32 },
+    /// Free object `id` (which this thread allocated or received).
+    Free { id: u32 },
+    /// Send object `id` to thread `to` (it will free or hold it).
+    Send { id: u32, to: u16 },
+    /// Local computation.
+    Work { units: u32 },
+}
+
+/// A multi-threaded allocation trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Per-thread event streams.
+    pub streams: Vec<Vec<TraceOp>>,
+}
+
+impl Trace {
+    /// Number of threads the trace was recorded for.
+    pub fn threads(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total events across all streams.
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize to a line-oriented text format
+    /// (`t0 a 5 128` / `t0 f 5` / `t0 s 5 2` / `t0 w 40`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (t, stream) in self.streams.iter().enumerate() {
+            for op in stream {
+                match op {
+                    TraceOp::Alloc { id, size } => {
+                        out.push_str(&format!("t{t} a {id} {size}\n"));
+                    }
+                    TraceOp::Free { id } => out.push_str(&format!("t{t} f {id}\n")),
+                    TraceOp::Send { id, to } => {
+                        out.push_str(&format!("t{t} s {id} {to}\n"));
+                    }
+                    TraceOp::Work { units } => out.push_str(&format!("t{t} w {units}\n")),
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the [`to_text`](Self::to_text) format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let mut streams: Vec<Vec<TraceOp>> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+            let thread: usize = parts
+                .next()
+                .and_then(|t| t.strip_prefix('t'))
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad thread"))?;
+            while streams.len() <= thread {
+                streams.push(Vec::new());
+            }
+            let kind = parts.next().ok_or_else(|| err("missing op"))?;
+            let mut num = |what: &str| -> Result<u32, String> {
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(what))
+            };
+            let op = match kind {
+                "a" => TraceOp::Alloc {
+                    id: num("bad id")?,
+                    size: num("bad size")?,
+                },
+                "f" => TraceOp::Free { id: num("bad id")? },
+                "s" => TraceOp::Send {
+                    id: num("bad id")?,
+                    to: num("bad target")? as u16,
+                },
+                "w" => TraceOp::Work {
+                    units: num("bad units")?,
+                },
+                other => return Err(err(&format!("unknown op {other:?}"))),
+            };
+            streams[thread].push(op);
+        }
+        Ok(Trace { streams })
+    }
+
+    /// Validate referential integrity: every freed/sent id was allocated
+    /// (or received) earlier in the same stream, sends target real
+    /// threads, and every id is allocated exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let threads = self.threads();
+        let mut allocated: HashMap<u32, usize> = HashMap::new();
+        for (t, stream) in self.streams.iter().enumerate() {
+            for op in stream {
+                if let TraceOp::Alloc { id, size } = op {
+                    if *size == 0 {
+                        return Err(format!("object {id}: zero size"));
+                    }
+                    if allocated.insert(*id, t).is_some() {
+                        return Err(format!("object {id} allocated twice"));
+                    }
+                }
+            }
+        }
+        // Track possession per thread (moves via Send).
+        let mut held: HashMap<u32, usize> = HashMap::new();
+        // Replay per-stream in order; sends are asynchronous so receipt
+        // is modelled eagerly (conservative: only checks existence).
+        for (t, stream) in self.streams.iter().enumerate() {
+            for op in stream {
+                match op {
+                    TraceOp::Alloc { id, .. } => {
+                        held.insert(*id, t);
+                    }
+                    TraceOp::Free { id } => {
+                        if !allocated.contains_key(id) {
+                            return Err(format!("thread {t} frees unknown object {id}"));
+                        }
+                    }
+                    TraceOp::Send { id, to } => {
+                        if !allocated.contains_key(id) {
+                            return Err(format!("thread {t} sends unknown object {id}"));
+                        }
+                        if *to as usize >= threads {
+                            return Err(format!("send to nonexistent thread {to}"));
+                        }
+                    }
+                    TraceOp::Work { .. } => {}
+                }
+            }
+        }
+        // Every allocated object must be freed exactly once somewhere.
+        let mut freed: HashMap<u32, u32> = HashMap::new();
+        for stream in &self.streams {
+            for op in stream {
+                if let TraceOp::Free { id } = op {
+                    *freed.entry(*id).or_insert(0) += 1;
+                }
+            }
+        }
+        for (id, t) in &allocated {
+            match freed.get(id) {
+                Some(1) => {}
+                Some(n) => return Err(format!("object {id} freed {n} times")),
+                None => return Err(format!("object {id} (thread {t}) never freed")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental trace construction.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    next_id: u32,
+}
+
+impl TraceBuilder {
+    /// Start a trace for `threads` threads.
+    pub fn new(threads: usize) -> Self {
+        TraceBuilder {
+            trace: Trace {
+                streams: vec![Vec::new(); threads],
+            },
+            next_id: 0,
+        }
+    }
+
+    /// Record an allocation on `thread`; returns the object id.
+    pub fn alloc(&mut self, thread: usize, size: u32) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.trace.streams[thread].push(TraceOp::Alloc { id, size });
+        id
+    }
+
+    /// Record a free on `thread`.
+    pub fn free(&mut self, thread: usize, id: u32) {
+        self.trace.streams[thread].push(TraceOp::Free { id });
+    }
+
+    /// Record a cross-thread handoff.
+    pub fn send(&mut self, from: usize, id: u32, to: usize) {
+        self.trace.streams[from].push(TraceOp::Send { id, to: to as u16 });
+    }
+
+    /// Record local work.
+    pub fn work(&mut self, thread: usize, units: u32) {
+        self.trace.streams[thread].push(TraceOp::Work { units });
+    }
+
+    /// Finish, validating the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Trace::validate`] failures.
+    pub fn finish(self) -> Result<Trace, String> {
+        self.trace.validate()?;
+        Ok(self.trace)
+    }
+}
+
+/// Parameters for [`synthesize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisParams {
+    /// Threads in the trace.
+    pub threads: usize,
+    /// Allocation events per thread.
+    pub allocs_per_thread: usize,
+    /// Size range (inclusive).
+    pub min_size: u32,
+    /// Size range (inclusive).
+    pub max_size: u32,
+    /// Live objects a thread keeps before freeing the oldest.
+    pub working_set: usize,
+    /// Per-mille of frees routed through another thread (remote frees).
+    pub remote_free_permille: u32,
+    /// Compute units between operations.
+    pub work_between: u32,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthesisParams {
+    fn default() -> Self {
+        SynthesisParams {
+            threads: 4,
+            allocs_per_thread: 2_000,
+            min_size: 8,
+            max_size: 512,
+            working_set: 64,
+            remote_free_permille: 100,
+            work_between: 20,
+            seed: 0x7ACE,
+        }
+    }
+}
+
+/// Generate a random (but reproducible) trace.
+pub fn synthesize(params: &SynthesisParams) -> Trace {
+    let mut b = TraceBuilder::new(params.threads);
+    for t in 0..params.threads {
+        let mut rng = Rng::new(params.seed, t);
+        let mut live: Vec<u32> = Vec::new();
+        for _ in 0..params.allocs_per_thread {
+            let size = rng.range(params.min_size as usize, params.max_size as usize) as u32;
+            let id = b.alloc(t, size);
+            live.push(id);
+            b.work(t, params.work_between);
+            if live.len() > params.working_set {
+                let victim = live.remove(rng.range(0, live.len() - 1));
+                if params.threads > 1
+                    && rng.range(0, 999) < params.remote_free_permille as usize
+                {
+                    // Bleed to a random other thread, which frees it.
+                    let mut to = rng.range(0, params.threads - 2);
+                    if to >= t {
+                        to += 1;
+                    }
+                    b.send(t, victim, to);
+                    b.free(to, victim);
+                } else {
+                    b.free(t, victim);
+                }
+            }
+        }
+        for id in live {
+            b.free(t, id);
+        }
+    }
+    b.finish().expect("synthesized traces are well-formed")
+}
+
+/// Replay a trace against `alloc` on the simulated machine.
+///
+/// Cross-thread frees are delivered through sim channels (the receiving
+/// thread polls its mailbox between events), so remote frees really are
+/// performed by the remote thread, as in the Larson benchmark.
+pub fn replay(alloc: &dyn MtAllocator, trace: &Trace) -> WorkloadResult {
+    hoard_sim::reset_cache();
+    let threads = trace.threads().max(1);
+    let meter = LiveMeter::new();
+
+    // Mailbox per thread for (id -> Obj) handoffs.
+    let mut senders: Vec<VSender<(u32, Obj)>> = Vec::new();
+    let mut receivers: Vec<Option<VReceiver<(u32, Obj)>>> = Vec::new();
+    for _ in 0..threads {
+        let (tx, rx) = vchannel();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+    let receivers = Mutex::new(receivers);
+    let ops_total: u64 = trace.len() as u64;
+
+    let report = Machine::new(threads).run(|proc| {
+        let meter = &meter;
+        let senders: Vec<VSender<(u32, Obj)>> = senders.clone();
+        let rx = receivers.lock().expect("receivers")[proc]
+            .take()
+            .expect("receiver taken once");
+        let stream: Vec<TraceOp> = trace.streams.get(proc).cloned().unwrap_or_default();
+        move || {
+            let mut objects: HashMap<u32, Obj> = HashMap::new();
+            let drain_mailbox = |objects: &mut HashMap<u32, Obj>| {
+                while let Ok(Some((id, obj))) = rx.try_recv() {
+                    objects.insert(id, obj);
+                }
+            };
+            for op in &stream {
+                drain_mailbox(&mut objects);
+                match *op {
+                    TraceOp::Alloc { id, size } => {
+                        let obj = Obj::alloc(alloc, meter, size as usize);
+                        obj.write();
+                        objects.insert(id, obj);
+                    }
+                    TraceOp::Free { id } => {
+                        // The object may still be in transit; wait for it.
+                        let obj = loop {
+                            if let Some(obj) = objects.remove(&id) {
+                                break obj;
+                            }
+                            match rx.recv() {
+                                Ok((got, obj)) => {
+                                    objects.insert(got, obj);
+                                }
+                                Err(_) => panic!("object {id} never arrived"),
+                            }
+                        };
+                        obj.free(alloc, meter);
+                    }
+                    TraceOp::Send { id, to } => {
+                        let obj = objects.remove(&id).expect("send of object not held");
+                        senders[to as usize]
+                            .send((id, obj))
+                            .expect("receiver alive");
+                    }
+                    TraceOp::Work { units } => work(units as u64),
+                }
+            }
+            // Anything still held (sent here but never freed by the
+            // trace) is freed at exit to keep accounting clean.
+            drain_mailbox(&mut objects);
+            for (_, obj) in objects.drain() {
+                obj.free(alloc, meter);
+            }
+        }
+    });
+
+    WorkloadResult {
+        makespan: report.makespan(),
+        ops: ops_total,
+        max_live_requested: meter.peak(),
+        snapshot: alloc.stats(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_core::HoardAllocator;
+
+    #[test]
+    fn builder_validate_roundtrip() {
+        let mut b = TraceBuilder::new(2);
+        let a = b.alloc(0, 64);
+        let c = b.alloc(0, 128);
+        b.work(0, 10);
+        b.send(0, a, 1);
+        b.free(1, a);
+        b.free(0, c);
+        let trace = b.finish().expect("valid");
+        assert_eq!(trace.threads(), 2);
+        assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        // Double free.
+        let mut b = TraceBuilder::new(1);
+        let a = b.alloc(0, 8);
+        b.free(0, a);
+        b.free(0, a);
+        assert!(b.finish().unwrap_err().contains("freed 2 times"));
+        // Leak.
+        let mut b = TraceBuilder::new(1);
+        b.alloc(0, 8);
+        assert!(b.finish().unwrap_err().contains("never freed"));
+        // Unknown free.
+        let t = Trace {
+            streams: vec![vec![TraceOp::Free { id: 7 }]],
+        };
+        assert!(t.validate().unwrap_err().contains("unknown object"));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let trace = synthesize(&SynthesisParams {
+            threads: 3,
+            allocs_per_thread: 50,
+            ..Default::default()
+        });
+        let text = trace.to_text();
+        let back = Trace::from_text(&text).expect("parse");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn text_parse_errors_are_located() {
+        assert!(Trace::from_text("t0 a 1").unwrap_err().contains("line 1"));
+        assert!(Trace::from_text("x0 a 1 8").unwrap_err().contains("bad thread"));
+        assert!(Trace::from_text("t0 q 1").unwrap_err().contains("unknown op"));
+        // Comments and blanks are fine.
+        let t = Trace::from_text("# comment\n\nt0 a 0 8\nt0 f 0\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn synthesized_traces_validate_and_replay() {
+        let trace = synthesize(&SynthesisParams {
+            threads: 3,
+            allocs_per_thread: 300,
+            remote_free_permille: 200,
+            ..Default::default()
+        });
+        trace.validate().expect("well-formed");
+        let h = HoardAllocator::new_default();
+        let result = replay(&h, &trace);
+        assert_eq!(result.snapshot.live_current, 0, "replay returns all memory");
+        assert!(result.snapshot.remote_frees > 0, "remote frees were exercised");
+        assert!(result.makespan > 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic_single_thread() {
+        let trace = synthesize(&SynthesisParams {
+            threads: 1,
+            allocs_per_thread: 500,
+            ..Default::default()
+        });
+        let a = replay(&HoardAllocator::new_default(), &trace);
+        let b = replay(&HoardAllocator::new_default(), &trace);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.max_live_requested, b.max_live_requested);
+    }
+
+    #[test]
+    fn replay_runs_on_every_allocator() {
+        let trace = synthesize(&SynthesisParams {
+            threads: 2,
+            allocs_per_thread: 200,
+            ..Default::default()
+        });
+        let allocators: Vec<Box<dyn MtAllocator>> = vec![
+            Box::new(HoardAllocator::new_default()),
+            Box::new(hoard_baselines::SerialAllocator::new()),
+            Box::new(hoard_baselines::PurePrivateAllocator::new()),
+            Box::new(hoard_baselines::OwnershipAllocator::new()),
+            Box::new(hoard_baselines::MtLikeAllocator::new()),
+        ];
+        for a in allocators {
+            let r = replay(&*a, &trace);
+            assert_eq!(r.snapshot.live_current, 0, "{} leaked", a.name());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests across workload parameter spaces: for random
+//! parameters and any allocator, every workload must terminate, return
+//! all memory, and report sane accounting. These catch parameter-edge
+//! bugs (single thread, tiny batches, working sets larger than the
+//! trace) that fixed-parameter tests never visit.
+
+use hoard_baselines::SerialAllocator;
+use hoard_core::HoardAllocator;
+use hoard_mem::MtAllocator;
+use hoard_workloads as wl;
+use proptest::prelude::*;
+
+fn allocator(pick: usize) -> Box<dyn MtAllocator> {
+    match pick % 2 {
+        0 => Box::new(HoardAllocator::new_default()),
+        _ => Box::new(SerialAllocator::new()),
+    }
+}
+
+fn check(result: &wl::WorkloadResult, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(result.snapshot.live_current, 0, "{}: leak", what);
+    prop_assert!(result.makespan > 0, "{}: empty run", what);
+    prop_assert!(result.ops > 0, "{}: no ops recorded", what);
+    prop_assert!(
+        result.snapshot.held_peak >= result.max_live_requested / 2,
+        "{}: held ({}) cannot be far below live ({})",
+        what,
+        result.snapshot.held_peak,
+        result.max_live_requested
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn threadtest_any_params(
+        threads in 1usize..=6,
+        total in 200u64..=4_000,
+        batch in 1usize..=120,
+        size in 1usize..=512,
+        pick in 0usize..2,
+    ) {
+        let params = wl::threadtest::Params {
+            total_objects: total,
+            batch,
+            size,
+            work_per_object: 10,
+        };
+        let alloc = allocator(pick);
+        let r = wl::threadtest::run(&*alloc, threads, &params);
+        check(&r, "threadtest")?;
+    }
+
+    #[test]
+    fn shbench_any_params(
+        threads in 1usize..=6,
+        total in 100u64..=3_000,
+        slots in 1usize..=200,
+        max_size in 1usize..=2_000,
+        pick in 0usize..2,
+    ) {
+        let params = wl::shbench::Params {
+            total_ops: total,
+            slots,
+            min_size: 1,
+            max_size,
+            work_per_op: 5,
+            seed: 7,
+        };
+        let alloc = allocator(pick);
+        let r = wl::shbench::run(&*alloc, threads, &params);
+        check(&r, "shbench")?;
+    }
+
+    #[test]
+    fn larson_any_params(
+        threads in 1usize..=5,
+        slots in 1usize..=100,
+        rounds in 1usize..=4,
+        ops in 1u64..=600,
+        pick in 0usize..2,
+    ) {
+        let params = wl::larson::Params {
+            slots_per_thread: slots,
+            rounds,
+            ops_per_round: ops,
+            min_size: 8,
+            max_size: 64,
+            work_per_op: 5,
+            seed: 11,
+        };
+        let alloc = allocator(pick);
+        let r = wl::larson::run(&*alloc, threads, &params);
+        check(&r, "larson")?;
+    }
+
+    #[test]
+    fn false_sharing_any_params(
+        threads in 1usize..=6,
+        writes in 100u64..=5_000,
+        wpo in 1u64..=200,
+        pick in 0usize..2,
+    ) {
+        let params = wl::false_sharing::Params {
+            object_size: 8,
+            total_writes: writes,
+            writes_per_object: wpo,
+            work_per_write: 2,
+        };
+        let a = allocator(pick);
+        check(&wl::false_sharing::active_false(&*a, threads, &params), "active")?;
+        let b = allocator(pick + 1);
+        check(&wl::false_sharing::passive_false(&*b, threads, &params), "passive")?;
+    }
+
+    #[test]
+    fn trace_synthesis_any_params(
+        threads in 1usize..=5,
+        allocs in 10usize..=400,
+        working_set in 1usize..=64,
+        remote in 0u32..=500,
+    ) {
+        let params = wl::trace::SynthesisParams {
+            threads,
+            allocs_per_thread: allocs,
+            min_size: 8,
+            max_size: 256,
+            working_set,
+            remote_free_permille: remote,
+            work_between: 2,
+            seed: 3,
+        };
+        let trace = wl::trace::synthesize(&params);
+        prop_assert!(trace.validate().is_ok());
+        let alloc = HoardAllocator::new_default();
+        let r = wl::trace::replay(&alloc, &trace);
+        prop_assert_eq!(r.snapshot.live_current, 0, "trace replay leak");
+    }
+}

@@ -1,0 +1,58 @@
+//! Hoard as the Rust `#[global_allocator]`.
+//!
+//! The allocator is `const`-constructible and allocation-free on its own
+//! paths, so a `static` instance can serve every `Box`, `Vec`, `String`
+//! and `HashMap` in the program — including across threads.
+//!
+//! ```text
+//! cargo run --example global_allocator
+//! ```
+
+use hoard_core::{HoardAllocator, HoardConfig};
+use std::collections::HashMap;
+
+#[global_allocator]
+static HOARD: HoardAllocator = HoardAllocator::new_static(HoardConfig::new());
+
+fn main() {
+    // Ordinary Rust data structures, now backed by Hoard.
+    let mut map: HashMap<String, Vec<u64>> = HashMap::new();
+    for i in 0..1000u64 {
+        map.entry(format!("bucket-{}", i % 32))
+            .or_default()
+            .push(i * i);
+    }
+    let total: u64 = map.values().flat_map(|v| v.iter()).sum();
+    println!("sum over {} buckets: {total}", map.len());
+
+    // Multithreaded churn straight through the global allocator.
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut acc = Vec::new();
+                for i in 0..10_000usize {
+                    acc.push(format!("thread-{t} item-{i}"));
+                    if acc.len() > 64 {
+                        acc.clear(); // frees flow back to the owning heaps
+                    }
+                }
+                acc.len()
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    drop(map);
+
+    let snap = hoard_mem::MtAllocator::stats(&HOARD);
+    let (to_global, from_global) = HOARD.transfer_counts();
+    println!(
+        "allocator served {} allocations ({} frees), peak held {} KiB",
+        snap.allocs,
+        snap.frees,
+        snap.held_peak / 1024
+    );
+    println!("superblock transfers: {to_global} to global, {from_global} back out");
+    assert!(snap.allocs > 10_000, "the program really used Hoard");
+}

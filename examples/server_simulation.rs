@@ -1,0 +1,52 @@
+//! A Larson-style server simulation on the simulated multiprocessor,
+//! comparing every allocator in the paper's sweep.
+//!
+//! Models a server where worker threads accept "connections" (allocate
+//! a session object), serve requests (write the session), and hand
+//! sessions to other workers for teardown (remote frees) — the traffic
+//! pattern that separates the allocator classes in the paper's Larson
+//! figure.
+//!
+//! ```text
+//! cargo run --release --example server_simulation
+//! ```
+
+use hoard_harness::AllocatorKind;
+use hoard_workloads::larson::{self, Params};
+
+fn main() {
+    let params = Params {
+        slots_per_thread: 300,
+        rounds: 3,
+        ops_per_round: 2_000,
+        min_size: 32,
+        max_size: 512,
+        ..Params::default()
+    };
+    let threads = [1usize, 4, 8, 14];
+
+    println!("larson-style server: {params:?}\n");
+    println!(
+        "{:<10} {:>6} {:>14} {:>12} {:>12}",
+        "allocator", "P", "makespan", "throughput", "remote frees"
+    );
+    for kind in AllocatorKind::sweep() {
+        for &p in &threads {
+            // Fresh instance per run: virtual-time state must not leak
+            // across measurements.
+            let alloc = kind.build();
+            let result = larson::run(&*alloc, p, &params);
+            println!(
+                "{:<10} {:>6} {:>14} {:>12.1} {:>12}",
+                kind.label(),
+                p,
+                result.makespan,
+                result.throughput(),
+                result.snapshot.remote_frees
+            );
+        }
+        println!();
+    }
+    println!("throughput = slot replacements per Munit of virtual time");
+    println!("(see DESIGN.md for the virtual-time SMP model)");
+}

@@ -1,0 +1,26 @@
+//! # hoard-repro — reproduction of *Hoard* (ASPLOS 2000)
+//!
+//! Facade crate re-exporting the workspace's public API:
+//!
+//! * [`hoard_core`] — the Hoard allocator itself (the paper's contribution);
+//! * [`hoard_baselines`] — the paper's allocator taxonomy as baselines;
+//! * [`hoard_sim`] — the virtual-time SMP substrate;
+//! * [`hoard_mem`] — chunk sources and the common allocator API;
+//! * [`hoard_workloads`] — the paper's benchmark suite;
+//! * [`hoard_harness`] — experiment runners regenerating every table and figure.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and the experiment index.
+
+pub use hoard_baselines as baselines;
+pub use hoard_core as core;
+pub use hoard_harness as harness;
+pub use hoard_mem as mem;
+pub use hoard_sim as sim;
+pub use hoard_workloads as workloads;
+
+// Doctest the README's code snippets (the bash blocks are ignored by
+// rustdoc; the Rust blocks compile and run against the real crates).
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -1,0 +1,74 @@
+//! Cost-model robustness: the paper's qualitative results must not
+//! depend on the calibrated cost constants. Under a *uniform* model
+//! (every event costs 10 units) the ordering — Hoard scales, serial
+//! collapses, pure-private blows up — must survive, because it follows
+//! from *who waits on whom*, not from how much each wait costs.
+//!
+//! The cost model is process-global, so everything lives in one `#[test]`
+//! (test binaries run sequentially; tests inside a binary would race on
+//! the installed model).
+
+use hoard_baselines::{PurePrivateAllocator, SerialAllocator};
+use hoard_core::HoardAllocator;
+use hoard_mem::MtAllocator;
+use hoard_sim::CostModel;
+use hoard_workloads::{consume, threadtest};
+
+#[test]
+fn qualitative_results_survive_a_uniform_cost_model() {
+    CostModel::uniform(10).install();
+    let restore = scopeguard();
+
+    // threadtest: fixed total work, 1 vs 8 virtual processors.
+    let params = threadtest::Params {
+        total_objects: 8_000,
+        batch: 50,
+        size: 8,
+        work_per_object: 30,
+    };
+    let speedup = |factory: &dyn Fn() -> Box<dyn MtAllocator>| {
+        let t1 = threadtest::run(&*factory(), 1, &params).makespan;
+        let t8 = threadtest::run(&*factory(), 8, &params).makespan;
+        t1 as f64 / t8 as f64
+    };
+    let hoard = speedup(&|| Box::new(HoardAllocator::new_default()));
+    let serial = speedup(&|| Box::new(SerialAllocator::new()));
+    assert!(
+        hoard > 4.0,
+        "hoard must scale under uniform costs: {hoard:.2}"
+    );
+    assert!(
+        serial < 2.0,
+        "serial must not scale under uniform costs: {serial:.2}"
+    );
+    assert!(hoard > 2.0 * serial, "ordering preserved");
+
+    // Blowup is cost-model-independent by construction, but verify the
+    // measurement still shows it.
+    let cparams = consume::Params {
+        rounds: 30,
+        batch: 50,
+        size: 256,
+    };
+    let private = consume::run(&PurePrivateAllocator::new(), 2, &cparams);
+    let hoard_c = consume::run(&HoardAllocator::new_default(), 2, &cparams);
+    let growth = |series: &[u64]| series.last().unwrap() - series[4];
+    assert!(
+        growth(&private.held_series) > 4 * growth(&hoard_c.held_series).max(1),
+        "blowup ordering preserved under uniform costs"
+    );
+
+    drop(restore);
+}
+
+/// Restore the default cost model even if assertions above panic, so a
+/// failure here cannot corrupt later test binaries' measurements.
+fn scopeguard() -> impl Drop {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CostModel::default().install();
+        }
+    }
+    Restore
+}

@@ -1,0 +1,125 @@
+//! Differential testing: every allocator in the sweep must execute the
+//! same traces with identical observable semantics — non-overlapping
+//! writable blocks, data integrity, full accounting — differing only in
+//! performance and footprint.
+
+use hoard_harness::AllocatorKind;
+use hoard_mem::MtAllocator;
+use std::ptr::NonNull;
+
+/// Deterministic pseudo-random trace shared by all allocators.
+fn trace(seed: u64, ops: usize) -> Vec<i64> {
+    // Positive value = allocate that many bytes; negative = free the
+    // (value % live)th live block.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..ops)
+        .map(|_| {
+            let r = next();
+            if r % 3 == 0 {
+                -((r >> 8) as i64 & 0xFFFF)
+            } else {
+                (1 + (r >> 8) % 5000) as i64
+            }
+        })
+        .collect()
+}
+
+fn run_trace(alloc: &dyn MtAllocator, ops: &[i64]) {
+    let mut live: Vec<(NonNull<u8>, usize, u8)> = Vec::new();
+    let mut stamp = 0u8;
+    for &op in ops {
+        if op > 0 {
+            let size = op as usize;
+            stamp = stamp.wrapping_add(1);
+            let p = unsafe { alloc.allocate(size) }.expect("allocation");
+            unsafe { std::ptr::write_bytes(p.as_ptr(), stamp, size) };
+            // Non-overlap against all live blocks.
+            let (start, end) = (p.as_ptr() as usize, p.as_ptr() as usize + size);
+            for (q, qs, _) in &live {
+                let (a, b) = (q.as_ptr() as usize, q.as_ptr() as usize + qs);
+                assert!(end <= a || b <= start, "{}: overlap", alloc.name());
+            }
+            assert!(unsafe { alloc.usable_size(p) } >= size, "{}", alloc.name());
+            live.push((p, size, stamp));
+        } else if !live.is_empty() {
+            let idx = (-op) as usize % live.len();
+            let (p, size, fill) = live.swap_remove(idx);
+            for off in (0..size).step_by(97) {
+                assert_eq!(
+                    unsafe { *p.as_ptr().add(off) },
+                    fill,
+                    "{}: corruption at {off}",
+                    alloc.name()
+                );
+            }
+            unsafe { alloc.deallocate(p) };
+        }
+    }
+    for (p, ..) in live {
+        unsafe { alloc.deallocate(p) };
+    }
+}
+
+#[test]
+fn identical_traces_run_clean_on_every_allocator() {
+    let ops = trace(0xD1FF, 4_000);
+    for kind in AllocatorKind::sweep() {
+        let alloc = kind.build();
+        run_trace(&*alloc, &ops);
+        let snap = alloc.stats();
+        assert_eq!(snap.live_current, 0, "{} leaked", kind.label());
+        assert_eq!(snap.allocs, snap.frees, "{} lost frees", kind.label());
+    }
+}
+
+#[test]
+fn concurrent_identical_traces() {
+    for kind in AllocatorKind::sweep() {
+        let alloc: std::sync::Arc<dyn MtAllocator> = kind.build().into();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let alloc = std::sync::Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    run_trace(&*alloc, &trace(0xBEE5 + t as u64, 2_000));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("trace worker");
+        }
+        assert_eq!(alloc.stats().live_current, 0, "{}", kind.label());
+    }
+}
+
+#[test]
+fn fragmentation_ordering_matches_the_taxonomy() {
+    // Producer-consumer: pure-private must hold the most memory, the
+    // serial allocator the least (one shared heap), Hoard close to
+    // serial — the paper's blowup ranking.
+    use hoard_workloads::consume::{self, Params};
+    let params = Params {
+        rounds: 30,
+        batch: 100,
+        size: 256,
+    };
+    let mut peaks = std::collections::HashMap::new();
+    for kind in AllocatorKind::sweep() {
+        let alloc = kind.build();
+        let r = consume::run(&*alloc, 2, &params);
+        peaks.insert(kind.label(), r.result.snapshot.held_peak);
+    }
+    assert!(
+        peaks["private"] > 4 * peaks["serial"],
+        "pure-private blowup must dwarf serial: {peaks:?}"
+    );
+    assert!(
+        peaks["hoard"] < peaks["private"] / 4,
+        "hoard must stay near-flat: {peaks:?}"
+    );
+}

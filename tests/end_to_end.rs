@@ -1,0 +1,157 @@
+//! End-to-end shape checks: run the experiment registry at reduced scale
+//! and assert the qualitative results the paper reports — who wins,
+//! who collapses, where memory grows.
+
+use hoard_harness::{experiment_by_id, RunOptions};
+
+fn opts() -> RunOptions {
+    RunOptions {
+        threads: vec![1, 4, 8],
+        quick: true,
+    }
+}
+
+/// Extract a named column of a speedup table as floats.
+fn column(table: &hoard_harness::Table, name: &str) -> Vec<f64> {
+    let idx = table
+        .columns
+        .iter()
+        .position(|c| c == name)
+        .unwrap_or_else(|| panic!("column {name} in {:?}", table.columns));
+    table
+        .rows
+        .iter()
+        .map(|r| r[idx].parse().expect("numeric cell"))
+        .collect()
+}
+
+#[test]
+fn e2_threadtest_shapes() {
+    let tables = experiment_by_id("e2").unwrap().run(&opts());
+    let t = &tables[0];
+    let serial = column(t, "serial");
+    let hoard = column(t, "hoard");
+    // Serial collapses below 1 and keeps degrading.
+    assert!(serial[1] < 0.8, "serial at P=4: {serial:?}");
+    assert!(serial[2] <= serial[1] + 0.1, "serial must not recover");
+    // Hoard scales: >3 at P=4, >6 at P=8.
+    assert!(hoard[1] > 3.0, "hoard at P=4: {hoard:?}");
+    assert!(hoard[2] > 6.0, "hoard at P=8: {hoard:?}");
+}
+
+#[test]
+fn e5_active_false_shapes() {
+    let tables = experiment_by_id("e5").unwrap().run(&opts());
+    let t = &tables[0];
+    let serial = column(t, "serial");
+    let hoard = column(t, "hoard");
+    assert!(serial[2] < 1.0, "serial stays at or below 1: {serial:?}");
+    assert!(hoard[2] > 4.0, "hoard scales: {hoard:?}");
+}
+
+#[test]
+fn e6_passive_false_shapes() {
+    let tables = experiment_by_id("e6").unwrap().run(&opts());
+    let t = &tables[0];
+    let private = column(t, "private");
+    let mtlike = column(t, "mtlike");
+    let hoard = column(t, "hoard");
+    assert!(
+        private[2] < 2.0 && mtlike[2] < 3.0,
+        "freeing-thread caches must collapse: private {private:?}, mtlike {mtlike:?}"
+    );
+    assert!(hoard[2] > 4.0, "hoard breaks passive sharing: {hoard:?}");
+    assert!(
+        hoard[2] > 2.0 * private[2].max(mtlike[2]),
+        "hoard must clearly dominate the collapsing class"
+    );
+}
+
+#[test]
+fn e7_barnes_hut_is_a_control() {
+    let tables = experiment_by_id("e7").unwrap().run(&opts());
+    let t = &tables[0];
+    // Compute-bound: even the serial allocator scales here.
+    for name in ["serial", "hoard"] {
+        let col = column(t, name);
+        assert!(col[1] > 2.0, "{name} at P=4 on barnes-hut: {col:?}");
+    }
+}
+
+#[test]
+fn e9_fragmentation_is_bounded() {
+    let tables = experiment_by_id("e9").unwrap().run(&opts());
+    for row in &tables[0].rows {
+        let frag: f64 = row[3].parse().expect("frag cell");
+        assert!(
+            (1.0..25.0).contains(&frag),
+            "{}: fragmentation {frag} out of range",
+            row[0]
+        );
+    }
+}
+
+#[test]
+fn e11_blowup_ranking() {
+    let tables = experiment_by_id("e11").unwrap().run(&opts());
+    let t = &tables[0];
+    let private = column(t, "private");
+    let hoard = column(t, "hoard");
+    let growth = |v: &[f64]| v.last().unwrap() - v.first().unwrap();
+    assert!(
+        growth(&private) > 50.0,
+        "pure-private footprint must grow: {private:?}"
+    );
+    assert!(growth(&hoard) < 32.0, "hoard stays flat: {hoard:?}");
+}
+
+#[test]
+fn e12_sensitivity_shapes() {
+    let tables = experiment_by_id("e12").unwrap().run(&opts());
+    let transfers = |r: &[String]| r[5].parse::<u64>().expect("transfer cell");
+
+    // Table 0: f sweep on shbench — a small f churns superblocks.
+    let tf = &tables[0];
+    let f_row = |f: &str| {
+        tf.rows
+            .iter()
+            .find(|r| r[0] == f)
+            .unwrap_or_else(|| panic!("row f={f} in {:?}", tf.rows))
+            .clone()
+    };
+    // At quick scale the end-of-run drain dominates the transfer count;
+    // the f effect is still a clear monotone factor (11x at full scale).
+    assert!(
+        transfers(&f_row("1/8")) as f64 > 1.8 * transfers(&f_row("1/2")) as f64,
+        "small f must churn superblocks on shbench: 1/8 -> {}, 1/2 -> {}",
+        transfers(&f_row("1/8")),
+        transfers(&f_row("1/2"))
+    );
+
+    // Table 1: K sweep on threadtest — K=0 ping-pongs.
+    let tk = &tables[1];
+    let k_row = |k: &str| {
+        tk.rows
+            .iter()
+            .find(|r| r[1] == k && r[2] == "8")
+            .unwrap_or_else(|| panic!("row K={k} in {:?}", tk.rows))
+            .clone()
+    };
+    let k0 = k_row("0");
+    let k2 = k_row("2");
+    assert!(
+        transfers(&k0) > 2 * (transfers(&k2) + 1),
+        "K=0 must show superblock ping-ponging: K0={k0:?} K2={k2:?}"
+    );
+}
+
+#[test]
+fn e1_and_e10_render() {
+    for id in ["e1", "e10"] {
+        let tables = experiment_by_id(id).unwrap().run(&opts());
+        assert!(!tables.is_empty());
+        let rendered = tables[0].render();
+        assert!(rendered.contains(&id.to_uppercase()));
+        assert!(!tables[0].rows.is_empty());
+    }
+}
