@@ -114,7 +114,8 @@ unsafe impl<Src: ChunkSource> MtAllocator for PurePrivateAllocator<Src> {
         let header = read_header(ptr.as_ptr());
         match header.tag {
             Tag::Large => {
-                let size = large::free_large(&self.source, header.value);
+                let size = large::free_large(&self.source, header.value)
+                    .expect("corrupt large-object header");
                 self.stats.on_free(size as u64, false);
             }
             Tag::Baseline => {

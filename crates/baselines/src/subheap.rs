@@ -131,6 +131,10 @@ impl Arena {
 }
 
 /// Records every chunk an allocator obtained so `Drop` can return them.
+///
+/// Lock acquisition tolerates poisoning (`into_inner`): if a workload
+/// thread panics while registering, releasing the already-recorded
+/// chunks on drop is still correct — refusing would leak them all.
 pub(crate) struct ChunkRegistry {
     chunks: Mutex<Vec<(usize, Layout)>>,
 }
@@ -152,14 +156,14 @@ impl ChunkRegistry {
         let chunk = unsafe { source.alloc_chunk(layout) }?;
         self.chunks
             .lock()
-            .expect("chunk registry poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push((chunk.as_ptr() as usize, layout));
         Some(chunk)
     }
 
     /// Return every registered chunk to `source`.
     pub(crate) fn release_all<Src: ChunkSource>(&self, source: &Src) {
-        let mut chunks = self.chunks.lock().expect("chunk registry poisoned");
+        let mut chunks = self.chunks.lock().unwrap_or_else(|e| e.into_inner());
         for (addr, layout) in chunks.drain(..) {
             unsafe {
                 source.free_chunk(NonNull::new_unchecked(addr as *mut u8), layout);

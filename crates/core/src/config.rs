@@ -2,6 +2,7 @@
 //! count, with a builder-style API and `const` construction for
 //! `static` (global-allocator) use.
 
+use crate::harden::HardeningLevel;
 use crate::MAX_HEAPS;
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +56,11 @@ pub struct HoardConfig {
     /// released back to the OS (off in the paper's allocator; exposed
     /// for the ablation experiments).
     pub release_empty_to_os: bool,
+    /// How hard the allocator defends its deallocation paths against
+    /// heap misuse (double free, foreign pointers, overruns). See
+    /// [`HardeningLevel`]; `Off` reproduces the paper's allocator.
+    #[serde(default)]
+    pub hardening: HardeningLevel,
 }
 
 impl HoardConfig {
@@ -67,6 +73,7 @@ impl HoardConfig {
             slack_k: 2,
             heap_count: 16,
             release_empty_to_os: false,
+            hardening: HardeningLevel::Off,
         }
     }
 
@@ -100,6 +107,12 @@ impl HoardConfig {
     /// OS (ablation).
     pub const fn with_release_empty_to_os(mut self, yes: bool) -> Self {
         self.release_empty_to_os = yes;
+        self
+    }
+
+    /// Set the hardening level for the allocation paths.
+    pub const fn with_hardening(mut self, level: HardeningLevel) -> Self {
+        self.hardening = level;
         self
     }
 
@@ -283,6 +296,14 @@ mod tests {
             .with_heap_count(8);
         assert_eq!(C.superblock_size, 4096);
         assert_eq!(C.heap_count, 8);
+    }
+
+    #[test]
+    fn hardening_defaults_off_and_builds_const() {
+        assert_eq!(HoardConfig::new().hardening, HardeningLevel::Off);
+        const C: HoardConfig = HoardConfig::new().with_hardening(HardeningLevel::Full);
+        assert_eq!(C.hardening, HardeningLevel::Full);
+        assert!(C.validate().is_ok(), "hardening never invalidates a config");
     }
 
     #[test]

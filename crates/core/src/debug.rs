@@ -232,6 +232,23 @@ pub fn validate<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Validation {
     Validation { heaps, errors }
 }
 
+/// [`validate`] as a pass/fail check: `Ok(())` when the allocator is
+/// internally consistent, `Err` with the violation descriptions
+/// otherwise. The shape the fault-injection campaign asserts after
+/// every storm of injected failures.
+///
+/// # Errors
+///
+/// Returns every consistency violation [`validate`] found.
+pub fn check_invariants<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Result<(), Vec<String>> {
+    let v = validate(alloc);
+    if v.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

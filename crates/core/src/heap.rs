@@ -243,7 +243,7 @@ mod tests {
         unsafe {
             let p = std::alloc::alloc(layout);
             assert!(!p.is_null());
-            Superblock::init(p, S, class, block_size, 1)
+            Superblock::init(p, S, class, block_size, 1, 0)
         }
     }
 

@@ -29,22 +29,63 @@
 //! `tests/invariants.rs` verify.
 
 use crate::config::HoardConfig;
+use crate::harden::{self, CorruptionKind, CorruptionLog};
 use crate::heap::Heap;
 use crate::superblock::Superblock;
 use crate::MAX_HEAPS;
 use hoard_mem::{
-    large, read_header, AllocSnapshot, AllocStats, ChunkSource, HeaderWord, MtAllocator,
-    SizeClassTable, SystemSource, Tag,
+    large, read_header, try_read_header, write_header, AllocSnapshot, AllocStats, ChunkSource,
+    HeaderWord, MtAllocator, SizeClassTable, SystemSource, Tag,
 };
 use hoard_sim::{charge_cost, current_proc, Cost};
 use std::alloc::Layout;
 use std::ptr::NonNull;
+use std::sync::atomic::AtomicU64;
 // Every counter update happens under the owning heap's lock, so relaxed
 // ordering suffices throughout.
 use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Mutex;
 
 /// Alignment requested for superblock chunks.
 const CHUNK_ALIGN: usize = 4096;
+
+/// Counters for the allocator's out-of-memory recovery path: when the
+/// chunk source refuses a chunk, the allocator returns every completely
+/// empty superblock it is hoarding (per-heap slack plus the global
+/// heap's pool) to the source and retries once.
+#[derive(Debug)]
+pub(crate) struct RecoveryStats {
+    chunk_reclaims: AtomicU64,
+    rescued_allocations: AtomicU64,
+}
+
+impl RecoveryStats {
+    const fn new() -> Self {
+        RecoveryStats {
+            chunk_reclaims: AtomicU64::new(0),
+            rescued_allocations: AtomicU64::new(0),
+        }
+    }
+
+    fn on_reclaim(&self, n: u64) {
+        self.chunk_reclaims.fetch_add(n, Relaxed);
+    }
+
+    fn on_rescue(&self) {
+        self.rescued_allocations.fetch_add(1, Relaxed);
+    }
+}
+
+/// Point-in-time view of [`HoardAllocator::recovery_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    /// Empty superblocks returned to the chunk source under memory
+    /// pressure (outside the `release_empty_to_os` ablation).
+    pub chunk_reclaims: u64,
+    /// Allocations that failed on the first pass and succeeded after
+    /// reclamation — requests that would have been spurious `None`s.
+    pub rescued_allocations: u64,
+}
 
 /// The Hoard allocator. See the [crate docs](crate) for the algorithm.
 ///
@@ -59,6 +100,15 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     heaps: [Heap; MAX_HEAPS + 1],
     stats: AllocStats,
     source: Src,
+    /// Corruption events detected by the hardened paths (always
+    /// present; empty when `hardening` is `Off`).
+    log: CorruptionLog,
+    /// Chunk addresses of live large objects, kept when hardening is
+    /// on. Large chunks return to the OS on free, so — unlike small
+    /// blocks, whose headers are retagged [`Tag::Freed`] in place —
+    /// double frees can only be caught against this registry.
+    large_live: Mutex<Vec<usize>>,
+    recovery: RecoveryStats,
 }
 
 impl HoardAllocator<SystemSource> {
@@ -94,6 +144,9 @@ impl HoardAllocator<SystemSource> {
             heaps: [const { Heap::new() }; MAX_HEAPS + 1],
             stats: AllocStats::new(),
             source: SystemSource::new(),
+            log: CorruptionLog::new(),
+            large_live: Mutex::new(Vec::new()),
+            recovery: RecoveryStats::new(),
         }
     }
 }
@@ -113,6 +166,9 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             heaps: [const { Heap::new() }; MAX_HEAPS + 1],
             stats: AllocStats::new(),
             source,
+            log: CorruptionLog::new(),
+            large_live: Mutex::new(Vec::new()),
+            recovery: RecoveryStats::new(),
         })
     }
 
@@ -145,9 +201,49 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         (snap.transfers_to_global, snap.transfers_from_global)
     }
 
+    /// Corruption events detected by the hardened deallocation paths
+    /// (always empty when `config.hardening` is
+    /// [`Off`](crate::HardeningLevel::Off)).
+    pub fn corruption_log(&self) -> &CorruptionLog {
+        &self.log
+    }
+
+    /// Out-of-memory recovery counters.
+    pub fn recovery_stats(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            chunk_reclaims: self.recovery.chunk_reclaims.load(Relaxed),
+            rescued_allocations: self.recovery.rescued_allocations.load(Relaxed),
+        }
+    }
+
+    /// Bytes reserved past each block payload (the `Full`-mode canary).
+    const fn block_extra(&self) -> usize {
+        if self.config.hardening.poisons() {
+            harden::CANARY_SIZE
+        } else {
+            0
+        }
+    }
+
     // ----- malloc -----
 
     unsafe fn alloc_small(&self, class: usize) -> Option<NonNull<u8>> {
+        if let Some(p) = self.alloc_small_attempt(class) {
+            return Some(p);
+        }
+        // OOM recovery: the source refused a chunk. Flush the empty
+        // superblocks hoarded as per-heap slack (and the global pool)
+        // back to the source and retry once — the request may fit in
+        // the memory we were keeping for locality.
+        if self.reclaim_empty_superblocks() == 0 {
+            return None;
+        }
+        let p = self.alloc_small_attempt(class)?;
+        self.recovery.on_rescue();
+        Some(p)
+    }
+
+    unsafe fn alloc_small_attempt(&self, class: usize) -> Option<NonNull<u8>> {
         let block_size = self.classes.class(class).block_size;
         let s = self.config.superblock_size;
         let hi = self.heap_index_for_current_thread();
@@ -164,7 +260,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 if (*sb).class as usize != class {
                     // Reformatting changes payload capacity: adjust `a`.
                     let before = Superblock::usable_bytes(sb);
-                    Superblock::reformat(sb, s, class as u32, block_size);
+                    Superblock::reformat(sb, s, class as u32, block_size, self.block_extra());
                     let after = Superblock::usable_bytes(sb);
                     heap.a.fetch_add(after, Relaxed);
                     heap.a.fetch_sub(before, Relaxed);
@@ -183,12 +279,35 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         if sb.is_null() {
             let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
             let chunk = self.source.alloc_chunk(layout)?;
-            sb = Superblock::init(chunk.as_ptr(), s, class as u32, block_size, hi);
+            sb = Superblock::init(
+                chunk.as_ptr(),
+                s,
+                class as u32,
+                block_size,
+                hi,
+                self.block_extra(),
+            );
             heap.a.fetch_add(Superblock::usable_bytes(sb), Relaxed);
             heap.link(sb);
         }
 
+        // In Full mode a block coming off the free list still carries
+        // its poison; peek before alloc_block consumes the list head.
+        let reused = self.config.hardening.poisons() && !(*sb).free_head.is_null();
         let payload = Superblock::alloc_block(sb);
+        if reused && !harden::poison_intact(payload, block_size) {
+            // Something wrote through a dangling pointer while the
+            // block sat freed. The block itself is fine to hand out;
+            // report and continue.
+            self.log.report(
+                CorruptionKind::PoisonOverwrite,
+                payload as usize,
+                "freed block modified before reuse",
+            );
+        }
+        if self.config.hardening.poisons() {
+            harden::write_canary(payload, block_size);
+        }
         heap.u.fetch_add(block_size as u64, Relaxed);
         heap.relink(sb);
         // Re-arm the eviction latch once the superblock fills back past
@@ -232,7 +351,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         global.u.fetch_sub(Superblock::used_bytes(sb), Relaxed);
         if (*sb).class as usize != class {
             debug_assert_eq!((*sb).in_use, 0, "only empty superblocks reformat");
-            Superblock::reformat(sb, self.config.superblock_size, class as u32, block_size);
+            Superblock::reformat(
+                sb,
+                self.config.superblock_size,
+                class as u32,
+                block_size,
+                self.block_extra(),
+            );
         }
         let used = Superblock::used_bytes(sb);
         Superblock::set_owner(sb, hi);
@@ -257,9 +382,34 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             }
 
             let block_size = (*sb).block_size as u64;
+            if self.config.hardening.poisons()
+                && !harden::canary_intact(payload, (*sb).block_size)
+            {
+                // The program wrote past the end of this block. Freeing
+                // it would let the smashed region recirculate; instead
+                // quarantine it — leave it allocated (accounting
+                // unchanged, so the heap invariants stay intact) and
+                // keep going.
+                drop(guard);
+                self.log.report(
+                    CorruptionKind::CanarySmashed,
+                    payload as usize,
+                    "block quarantined",
+                );
+                self.log.on_quarantine();
+                return;
+            }
             let was_f_empty =
                 self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
             Superblock::free_block(sb, payload);
+            if self.config.hardening.detects() {
+                // Retag the header so a second free of this pointer is
+                // caught in O(1); alloc_block retags on reuse.
+                write_header(payload, HeaderWord::new(Tag::Freed, sb as usize));
+            }
+            if self.config.hardening.poisons() {
+                harden::poison_payload(payload, (*sb).block_size);
+            }
             heap.u.fetch_sub(block_size, Relaxed);
             heap.relink(sb);
 
@@ -374,6 +524,161 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         }
     }
 
+    /// Out-of-memory recovery: return every completely empty superblock
+    /// — the global heap's pool plus each per-processor heap's K-slack —
+    /// to the chunk source. Returns the number of chunks reclaimed.
+    ///
+    /// Locks one heap at a time and never nests, so it may only be
+    /// called with **no** heap lock held (the allocation paths call it
+    /// after their first attempt has fully unwound).
+    unsafe fn reclaim_empty_superblocks(&self) -> u64 {
+        let layout = Layout::from_size_align(self.config.superblock_size, CHUNK_ALIGN)
+            .expect("superblock layout");
+        let mut reclaimed = 0u64;
+        for heap in self.heaps.iter().take(self.config.heap_count + 1) {
+            let _guard = heap.lock.lock();
+            loop {
+                let sb = heap.pop_empty();
+                if sb.is_null() {
+                    break;
+                }
+                heap.a.fetch_sub(Superblock::usable_bytes(sb), Relaxed);
+                self.source
+                    .free_chunk(NonNull::new_unchecked(sb as *mut u8), layout);
+                reclaimed += 1;
+            }
+        }
+        if reclaimed > 0 {
+            self.recovery.on_reclaim(reclaimed);
+        }
+        reclaimed
+    }
+
+    // ----- hardened deallocation -----
+
+    /// `deallocate` with `Basic`/`Full` hardening: every way a pointer
+    /// can be wrong is turned into a [`CorruptionReport`] and a clean
+    /// return instead of undefined behavior. Classification of wild
+    /// pointers is best-effort — it requires reading the word before
+    /// the pointer, which for a pointer into unmapped memory can still
+    /// fault — but every pointer this allocator ever returned, plus any
+    /// pointer into memory it owns, is classified safely.
+    ///
+    /// [`CorruptionReport`]: crate::CorruptionReport
+    unsafe fn deallocate_hardened(&self, ptr: NonNull<u8>) {
+        let p = ptr.as_ptr();
+        if !(p as usize).is_multiple_of(hoard_mem::MIN_ALIGN) {
+            self.log.report(
+                CorruptionKind::MisalignedPointer,
+                p as usize,
+                "free of a misaligned pointer",
+            );
+            return;
+        }
+        let Some(header) = try_read_header(p) else {
+            self.log.report(
+                CorruptionKind::ForeignPointer,
+                p as usize,
+                "header tag is not one this allocator writes",
+            );
+            return;
+        };
+        match header.tag {
+            Tag::Freed => {
+                self.log
+                    .report(CorruptionKind::DoubleFree, p as usize, "small block");
+            }
+            Tag::Superblock => {
+                let sb = header.value as *mut Superblock;
+                if sb.is_null() || !(sb as usize).is_multiple_of(CHUNK_ALIGN) {
+                    self.log.report(
+                        CorruptionKind::ForeignPointer,
+                        p as usize,
+                        "header names a misaligned superblock",
+                    );
+                    return;
+                }
+                if (*sb).magic != crate::superblock::SB_MAGIC {
+                    self.log.report(
+                        CorruptionKind::BadSuperblockMagic,
+                        p as usize,
+                        "free of a block of a dead or forged superblock",
+                    );
+                    return;
+                }
+                if Superblock::owner(sb) > MAX_HEAPS {
+                    self.log.report(
+                        CorruptionKind::ForeignPointer,
+                        p as usize,
+                        "superblock owner out of range",
+                    );
+                    return;
+                }
+                if !Superblock::contains(sb, p) {
+                    self.log.report(
+                        CorruptionKind::OutOfRangePointer,
+                        p as usize,
+                        "pointer is not on a block boundary of its superblock",
+                    );
+                    return;
+                }
+                self.free_small(sb, p);
+            }
+            Tag::Large => {
+                if !self.large_forget(header.value) {
+                    self.log
+                        .report(CorruptionKind::DoubleFree, p as usize, "large object");
+                    return;
+                }
+                match large::free_large(&self.source, header.value) {
+                    Some(size) => self.stats.on_free(size as u64, false),
+                    None => {
+                        // Header magic failed after the registry said the
+                        // object was live: an overflow reached the chunk
+                        // header. Quarantine the chunk (leak it) rather
+                        // than hand free_chunk a forged layout.
+                        self.log.report(
+                            CorruptionKind::BadLargeMagic,
+                            p as usize,
+                            "chunk quarantined",
+                        );
+                        self.log.on_quarantine();
+                    }
+                }
+            }
+            Tag::Baseline | Tag::Offset => {
+                self.log.report(
+                    CorruptionKind::ForeignPointer,
+                    p as usize,
+                    "block belongs to a different allocator or is interior",
+                );
+            }
+        }
+    }
+
+    /// Record a live large object's chunk address (hardened modes only).
+    fn large_remember(&self, chunk_addr: usize) {
+        if self.config.hardening.detects() {
+            self.large_live
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(chunk_addr);
+        }
+    }
+
+    /// Remove a large object from the live registry; `false` means it
+    /// was not live (double free).
+    fn large_forget(&self, chunk_addr: usize) -> bool {
+        let mut live = self.large_live.lock().unwrap_or_else(|e| e.into_inner());
+        match live.iter().position(|&a| a == chunk_addr) {
+            Some(i) => {
+                live.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     // ----- validation plumbing (used by `debug` and tests) -----
 
     pub(crate) fn heaps(&self) -> &[Heap; MAX_HEAPS + 1] {
@@ -392,7 +697,20 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
         match self.classes.index_for(size) {
             Some(class) => self.alloc_small(class),
             None => {
-                let p = large::alloc_large(&self.source, size)?;
+                let p = match large::alloc_large(&self.source, size) {
+                    Some(p) => p,
+                    None => {
+                        // OOM recovery, mirroring alloc_small: hand the
+                        // hoarded empty superblocks back and retry once.
+                        if self.reclaim_empty_superblocks() == 0 {
+                            return None;
+                        }
+                        let p = large::alloc_large(&self.source, size)?;
+                        self.recovery.on_rescue();
+                        p
+                    }
+                };
+                self.large_remember(read_header(p.as_ptr()).value);
                 self.stats.on_alloc(size as u64);
                 Some(p)
             }
@@ -401,6 +719,10 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
 
     unsafe fn deallocate(&self, ptr: NonNull<u8>) {
         charge_cost(Cost::FreeFast);
+        if self.config.hardening.detects() {
+            self.deallocate_hardened(ptr);
+            return;
+        }
         let header = read_header(ptr.as_ptr());
         match header.tag {
             Tag::Superblock => {
@@ -409,10 +731,11 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
                 self.free_small(sb, ptr.as_ptr());
             }
             Tag::Large => {
-                let size = large::free_large(&self.source, header.value);
+                let size = large::free_large(&self.source, header.value)
+                    .expect("corrupt large-object header");
                 self.stats.on_free(size as u64, false);
             }
-            Tag::Baseline | Tag::Offset => {
+            Tag::Freed | Tag::Baseline | Tag::Offset => {
                 unreachable!("pointer was not allocated by Hoard")
             }
         }
@@ -427,6 +750,7 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
         match header.tag {
             Tag::Superblock => (*(header.value as *mut Superblock)).block_size as usize,
             Tag::Large => large::large_size(header.value),
+            Tag::Freed => unreachable!("usable_size of a freed pointer"),
             Tag::Baseline | Tag::Offset => unreachable!("pointer was not allocated by Hoard"),
         }
     }
@@ -492,11 +816,28 @@ unsafe impl<Src: ChunkSource> std::alloc::GlobalAlloc for HoardAllocator<Src> {
         if ptr.is_null() {
             return;
         }
-        let header = read_header(ptr);
-        let base = if header.tag == Tag::Offset {
-            ptr.sub(header.to_int())
+        // Hardened modes must survive a wild pointer even here, where
+        // the Offset breadcrumb is resolved before `deallocate` runs.
+        let base = if self.config.hardening.detects() {
+            match try_read_header(ptr) {
+                Some(h) if h.tag == Tag::Offset => ptr.sub(h.to_int()),
+                Some(_) => ptr,
+                None => {
+                    self.log.report(
+                        CorruptionKind::ForeignPointer,
+                        ptr as usize,
+                        "dealloc of an unrecognized pointer",
+                    );
+                    return;
+                }
+            }
         } else {
-            ptr
+            let header = read_header(ptr);
+            if header.tag == Tag::Offset {
+                ptr.sub(header.to_int())
+            } else {
+                ptr
+            }
         };
         self.deallocate(NonNull::new_unchecked(base));
     }
@@ -670,11 +1011,8 @@ mod tests {
         unsafe {
             // First superblock succeeds; fill it to force a second.
             let mut live = Vec::new();
-            loop {
-                match h.allocate(4096) {
-                    Some(p) => live.push(p),
-                    None => break,
-                }
+            while let Some(p) = h.allocate(4096) {
+                live.push(p);
                 assert!(live.len() < 100, "failure injection never triggered");
             }
             assert!(!live.is_empty(), "first superblock should have served");

@@ -41,6 +41,7 @@
 //! it is `const`-constructible and allocation-free on its own paths.
 
 mod config;
+mod harden;
 mod heap;
 mod hoard;
 mod list;
@@ -49,7 +50,8 @@ mod superblock;
 pub mod debug;
 
 pub use config::{ConfigError, HoardConfig};
-pub use hoard::HoardAllocator;
+pub use harden::{CorruptionHook, CorruptionKind, CorruptionLog, CorruptionReport, HardeningLevel};
+pub use hoard::{HoardAllocator, RecoverySnapshot};
 pub use hoard_mem::{SizeClass, SizeClassTable, MAX_CLASSES};
 
 /// Maximum number of per-processor heaps supported (compile-time bound

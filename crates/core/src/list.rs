@@ -109,7 +109,7 @@ mod tests {
         unsafe {
             let p = std::alloc::alloc(layout);
             assert!(!p.is_null());
-            (Superblock::init(p, S, class, 8, 1), layout)
+            (Superblock::init(p, S, class, 8, 1, 0), layout)
         }
     }
 
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn remove_from_middle_front_back() {
         let head = AtomicPtr::new(ptr::null_mut());
-        let sbs: Vec<_> = (0..3).map(|i| make_sb(i)).collect();
+        let sbs: Vec<_> = (0..3).map(make_sb).collect();
         unsafe {
             for (sb, _) in &sbs {
                 push_front(&head, *sb);
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn find_matches_predicate() {
         let head = AtomicPtr::new(ptr::null_mut());
-        let sbs: Vec<_> = (0..4).map(|i| make_sb(i)).collect();
+        let sbs: Vec<_> = (0..4).map(make_sb).collect();
         unsafe {
             for (sb, _) in &sbs {
                 push_front(&head, *sb);

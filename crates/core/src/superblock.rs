@@ -70,7 +70,9 @@ pub(crate) struct Superblock {
 impl Superblock {
     /// Initialize the header of a fresh chunk at `chunk` (size
     /// `superblock_size`) for blocks of `block_size` bytes (class index
-    /// `class`), owned by `owner`.
+    /// `class`), owned by `owner`. `extra` bytes are reserved past each
+    /// block's payload (hardened allocators put their canary word
+    /// there; pass 0 for the paper's layout).
     ///
     /// # Safety
     ///
@@ -82,9 +84,10 @@ impl Superblock {
         class: u32,
         block_size: u32,
         owner: usize,
+        extra: usize,
     ) -> *mut Superblock {
         let sb = chunk as *mut Superblock;
-        let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE;
+        let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE + extra;
         let capacity = (superblock_size - blocks_offset()) / stride;
         debug_assert!(capacity >= 1, "superblock must hold at least one block");
         sb.write(Superblock {
@@ -111,11 +114,18 @@ impl Superblock {
     /// # Safety
     ///
     /// Caller must hold the owning heap's lock and `(*sb).in_use == 0`;
-    /// `sb` must be unlinked from all lists.
-    pub unsafe fn reformat(sb: *mut Superblock, superblock_size: usize, class: u32, block_size: u32) {
+    /// `sb` must be unlinked from all lists. `extra` as in
+    /// [`init`](Self::init).
+    pub unsafe fn reformat(
+        sb: *mut Superblock,
+        superblock_size: usize,
+        class: u32,
+        block_size: u32,
+        extra: usize,
+    ) {
         debug_assert_eq!((*sb).in_use, 0, "reformat requires an empty superblock");
         debug_assert_eq!((*sb).magic, SB_MAGIC);
-        let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE;
+        let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE + extra;
         let capacity = (superblock_size - blocks_offset()) / stride;
         (*sb).class = class;
         (*sb).block_size = block_size;
@@ -286,7 +296,7 @@ mod tests {
     fn init_computes_capacity() {
         let c = Chunk::new();
         unsafe {
-            let sb = Superblock::init(c.0, S, 3, 32, 1);
+            let sb = Superblock::init(c.0, S, 3, 32, 1, 0);
             let stride = 32 + HEADER_SIZE;
             assert_eq!((*sb).capacity as usize, (S - blocks_offset()) / stride);
             assert_eq!((*sb).in_use, 0);
@@ -299,7 +309,7 @@ mod tests {
     fn alloc_until_full_then_free_all() {
         let c = Chunk::new();
         unsafe {
-            let sb = Superblock::init(c.0, S, 0, 8, 1);
+            let sb = Superblock::init(c.0, S, 0, 8, 1, 0);
             let cap = (*sb).capacity;
             let mut blocks = Vec::new();
             for i in 0..cap {
@@ -327,7 +337,7 @@ mod tests {
     fn blocks_do_not_overlap_and_are_writable() {
         let c = Chunk::new();
         unsafe {
-            let sb = Superblock::init(c.0, S, 5, 48, 1);
+            let sb = Superblock::init(c.0, S, 5, 48, 1, 0);
             let cap = (*sb).capacity as usize;
             let mut ptrs = Vec::new();
             for _ in 0..cap {
@@ -355,7 +365,7 @@ mod tests {
     fn free_list_is_lifo() {
         let c = Chunk::new();
         unsafe {
-            let sb = Superblock::init(c.0, S, 0, 16, 1);
+            let sb = Superblock::init(c.0, S, 0, 16, 1, 0);
             let a = Superblock::alloc_block(sb);
             let b = Superblock::alloc_block(sb);
             Superblock::free_block(sb, a);
@@ -369,10 +379,10 @@ mod tests {
     fn reformat_changes_class_geometry() {
         let c = Chunk::new();
         unsafe {
-            let sb = Superblock::init(c.0, S, 0, 8, 1);
+            let sb = Superblock::init(c.0, S, 0, 8, 1, 0);
             let p = Superblock::alloc_block(sb);
             Superblock::free_block(sb, p);
-            Superblock::reformat(sb, S, 9, 256, );
+            Superblock::reformat(sb, S, 9, 256, 0);
             assert_eq!((*sb).class, 9);
             assert_eq!((*sb).block_size, 256);
             assert_eq!((*sb).bump, 0);
@@ -387,7 +397,7 @@ mod tests {
     fn fullness_groups_partition_occupancy() {
         let c = Chunk::new();
         unsafe {
-            let sb = Superblock::init(c.0, S, 0, 8, 1);
+            let sb = Superblock::init(c.0, S, 0, 8, 1, 0);
             let cap = (*sb).capacity;
             let mut prev_group = 0;
             let mut ptrs = Vec::new();
@@ -406,8 +416,8 @@ mod tests {
         let c1 = Chunk::new();
         let c2 = Chunk::new();
         unsafe {
-            let sb1 = Superblock::init(c1.0, S, 0, 8, 1);
-            let sb2 = Superblock::init(c2.0, S, 0, 8, 1);
+            let sb1 = Superblock::init(c1.0, S, 0, 8, 1, 0);
+            let sb2 = Superblock::init(c2.0, S, 0, 8, 1, 0);
             let p2 = Superblock::alloc_block(sb2);
             assert!(!Superblock::contains(sb1, p2));
             // Misaligned interior pointer.

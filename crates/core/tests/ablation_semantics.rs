@@ -117,11 +117,8 @@ fn mid_run_source_exhaustion_is_clean() {
     .unwrap();
     unsafe {
         let mut live = Vec::new();
-        loop {
-            match h.allocate(512) {
-                Some(p) => live.push(p),
-                None => break,
-            }
+        while let Some(p) = h.allocate(512) {
+            live.push(p);
             assert!(live.len() < 10_000, "failure injection never fired");
         }
         let served = live.len();

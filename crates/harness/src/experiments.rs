@@ -12,6 +12,9 @@ use hoard_mem::MtAllocator;
 use hoard_workloads as wl;
 use hoard_workloads::WorkloadResult;
 
+/// A named benchmark closure for the fragmentation table.
+type FragRun<'a> = (&'a str, Box<dyn Fn(&dyn MtAllocator) -> WorkloadResult>);
+
 /// Options shared by every experiment run.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -331,7 +334,7 @@ fn e9_fragmentation(opts: &RunOptions) -> Vec<Table> {
     // microbenchmark whose live set is a few hundred bytes would just
     // report the additive O(P*S) term). The false-sharing
     // microbenchmarks are excluded for that reason.
-    let runs: Vec<(&str, Box<dyn Fn(&dyn MtAllocator) -> WorkloadResult>)> = vec![
+    let runs: Vec<FragRun> = vec![
         ("threadtest", {
             let p = wl::threadtest::Params {
                 total_objects: opts.scale(100_000, 10_000),
@@ -578,7 +581,7 @@ mod tests {
         let tables = e9_fragmentation(&tiny_opts());
         for row in &tables[0].rows {
             let frag: f64 = row[3].parse().expect("numeric fragmentation");
-            assert!(frag >= 1.0 && frag < 100.0, "{}: frag {frag}", row[0]);
+            assert!((1.0..100.0).contains(&frag), "{}: frag {frag}", row[0]);
         }
     }
 

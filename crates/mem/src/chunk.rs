@@ -53,6 +53,23 @@ pub unsafe trait ChunkSource: Send + Sync {
     fn stats(&self) -> SourceStats;
 }
 
+// A shared reference to a source is itself a source: this lets a test
+// hand an allocator `&source` and keep the original to inspect stats
+// after the allocator (and its Drop) are gone.
+unsafe impl<S: ChunkSource> ChunkSource for &S {
+    unsafe fn alloc_chunk(&self, layout: Layout) -> Option<NonNull<u8>> {
+        (**self).alloc_chunk(layout)
+    }
+
+    unsafe fn free_chunk(&self, ptr: NonNull<u8>, layout: Layout) {
+        (**self).free_chunk(ptr, layout);
+    }
+
+    fn stats(&self) -> SourceStats {
+        (**self).stats()
+    }
+}
+
 /// Point-in-time accounting of a [`ChunkSource`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SourceStats {

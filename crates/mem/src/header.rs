@@ -27,17 +27,30 @@ pub enum Tag {
     /// Upper bits: byte offset back to the block's *real* header, used
     /// for over-aligned `GlobalAlloc` requests.
     Offset = 3,
+    /// Upper bits: address of the superblock that freed the block. A
+    /// hardened allocator rewrites a block's header with this tag on
+    /// `free` (and back to [`Tag::Superblock`] on reuse), so a second
+    /// `free` of the same pointer is detected in O(1).
+    Freed = 4,
 }
 
 impl Tag {
-    fn from_bits(bits: usize) -> Tag {
+    /// Decode a tag, or `None` for bit patterns no allocator emits.
+    /// Hardened deallocation paths use this to classify wild pointers
+    /// without panicking.
+    pub fn try_from_bits(bits: usize) -> Option<Tag> {
         match bits {
-            0 => Tag::Superblock,
-            1 => Tag::Large,
-            2 => Tag::Baseline,
-            3 => Tag::Offset,
-            _ => unreachable!("only 2-bit tags are encoded"),
+            0 => Some(Tag::Superblock),
+            1 => Some(Tag::Large),
+            2 => Some(Tag::Baseline),
+            3 => Some(Tag::Offset),
+            4 => Some(Tag::Freed),
+            _ => None,
         }
+    }
+
+    fn from_bits(bits: usize) -> Tag {
+        Tag::try_from_bits(bits).expect("unassigned header tag bits")
     }
 }
 
@@ -113,6 +126,24 @@ pub unsafe fn read_header(payload: *mut u8) -> HeaderWord {
     HeaderWord::decode(slot.read())
 }
 
+/// Read a header without trusting its contents: returns `None` when the
+/// tag bits do not decode to any [`Tag`]. Hardened deallocation uses
+/// this so a wild pointer produces a report instead of a panic.
+///
+/// # Safety
+///
+/// The `HEADER_SIZE` bytes before `payload` must be readable; `payload`
+/// must be 8-aligned.
+pub unsafe fn try_read_header(payload: *mut u8) -> Option<HeaderWord> {
+    debug_assert_eq!(payload as usize % MIN_ALIGN, 0);
+    let slot = payload.sub(HEADER_SIZE) as *mut usize;
+    let word = slot.read();
+    Tag::try_from_bits(word & TAG_MASK).map(|tag| HeaderWord {
+        tag,
+        value: word & !TAG_MASK,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,10 +166,28 @@ mod tests {
     fn roundtrip_every_tag() {
         let mut buf = [0u8; 64];
         let payload = crate::align_up(buf.as_mut_ptr() as usize + 8, 8) as *mut u8;
-        for tag in [Tag::Superblock, Tag::Large, Tag::Baseline, Tag::Offset] {
+        for tag in [Tag::Superblock, Tag::Large, Tag::Baseline, Tag::Offset, Tag::Freed] {
             unsafe {
                 write_header(payload, HeaderWord::new(tag, 0x1000));
                 assert_eq!(read_header(payload).tag, tag);
+            }
+        }
+    }
+
+    #[test]
+    fn try_read_header_rejects_unassigned_tags() {
+        let mut buf = [0u8; 64];
+        let payload = crate::align_up(buf.as_mut_ptr() as usize + 8, 8) as *mut u8;
+        unsafe {
+            write_header(payload, HeaderWord::new(Tag::Freed, 0x2000));
+            let h = try_read_header(payload).expect("freed tag decodes");
+            assert_eq!(h.tag, Tag::Freed);
+            assert_eq!(h.value, 0x2000);
+            // Raw garbage in the tag bits must not decode.
+            let slot = payload.sub(HEADER_SIZE) as *mut usize;
+            for bits in 5..8usize {
+                slot.write(0x3000 | bits);
+                assert_eq!(try_read_header(payload), None, "tag bits {bits}");
             }
         }
     }

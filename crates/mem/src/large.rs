@@ -51,20 +51,28 @@ pub unsafe fn alloc_large<S: ChunkSource>(source: &S, size: usize) -> Option<Non
     Some(NonNull::new_unchecked(payload))
 }
 
-/// Free a large object; returns its payload size (for accounting).
+/// Free a large object; returns its payload size (for accounting), or
+/// `None` — without touching the chunk — when the header's magic does
+/// not verify. The magic check is always on (not a `debug_assert`): a
+/// corrupt or forged header would otherwise feed an attacker-controlled
+/// `Layout` straight into `free_chunk`. Callers route `None` into their
+/// corruption-reporting path.
 ///
 /// # Safety
 ///
 /// `chunk_addr` must be the [`Tag::Large`] header value of a live large
-/// object previously produced by [`alloc_large`] on the same `source`.
-pub unsafe fn free_large<S: ChunkSource>(source: &S, chunk_addr: usize) -> usize {
+/// object previously produced by [`alloc_large`] on the same `source`,
+/// or at minimum point at `size_of::<LargeHeader>()` readable bytes.
+pub unsafe fn free_large<S: ChunkSource>(source: &S, chunk_addr: usize) -> Option<usize> {
     let hdr = chunk_addr as *mut LargeHeader;
-    debug_assert_eq!((*hdr).magic, LARGE_MAGIC, "corrupt large-object header");
+    if (*hdr).magic != LARGE_MAGIC {
+        return None;
+    }
     let size = (*hdr).size;
     let chunk_size = (*hdr).chunk_size;
     let layout = Layout::from_size_align(chunk_size, CHUNK_ALIGN).expect("large layout");
     source.free_chunk(NonNull::new_unchecked(chunk_addr as *mut u8), layout);
-    size
+    Some(size)
 }
 
 /// Payload size of a live large object.
@@ -95,7 +103,7 @@ mod tests {
             assert_eq!(large_size(h.value), 10_000);
             assert!(src.stats().held_current >= 10_000);
             let freed = free_large(&src, h.value);
-            assert_eq!(freed, 10_000);
+            assert_eq!(freed, Some(10_000));
             assert_eq!(src.stats().held_current, 0);
         }
     }
@@ -107,7 +115,7 @@ mod tests {
             let p = alloc_large(&src, 1).unwrap();
             assert_eq!(src.stats().held_current, 4096, "one page for a tiny large object");
             let h = read_header(p.as_ptr());
-            free_large(&src, h.value);
+            assert!(free_large(&src, h.value).is_some());
         }
     }
 
@@ -123,8 +131,27 @@ mod tests {
             assert_eq!(*b.as_ptr(), 0x22);
             let ha = read_header(a.as_ptr());
             let hb = read_header(b.as_ptr());
-            free_large(&src, ha.value);
-            free_large(&src, hb.value);
+            assert!(free_large(&src, ha.value).is_some());
+            assert!(free_large(&src, hb.value).is_some());
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_is_refused_without_freeing() {
+        let src = SystemSource::new();
+        unsafe {
+            let p = alloc_large(&src, 3000).unwrap();
+            let h = read_header(p.as_ptr());
+            // Smash the magic the way a heap-overflow would.
+            let hdr = h.value as *mut u64;
+            let good = hdr.read();
+            hdr.write(0xBAD0_BEEF);
+            assert_eq!(free_large(&src, h.value), None, "corrupt header refused");
+            assert!(src.stats().held_current > 0, "chunk must not be freed");
+            // Restore and free for a clean exit.
+            hdr.write(good);
+            assert_eq!(free_large(&src, h.value), Some(3000));
+            assert_eq!(src.stats().held_current, 0);
         }
     }
 }

@@ -4,8 +4,10 @@
 //!
 //! * [`ChunkSource`] — the "operating system": a provider of large,
 //!   aligned chunks (superblocks). [`SystemSource`] backs chunks with the
-//!   host allocator and charges the virtual OS cost; [`LimitedSource`]
-//!   and [`FailingSource`] inject out-of-memory conditions for testing.
+//!   host allocator and charges the virtual OS cost; [`LimitedSource`],
+//!   [`FailingSource`], and [`InjectingSource`] (driven by a seeded
+//!   deterministic [`FaultPlan`]) inject out-of-memory conditions for
+//!   testing.
 //! * [`MtAllocator`] — the `malloc`/`free`-shaped interface every
 //!   allocator (Hoard and the baselines) implements, with self-describing
 //!   blocks (`deallocate` takes only the pointer, like C `free`).
@@ -34,6 +36,7 @@ mod alloc_box;
 mod alloc_vec;
 mod api;
 mod chunk;
+mod fault;
 mod header;
 pub mod large;
 mod size_class;
@@ -44,7 +47,8 @@ pub use alloc_box::AllocBox;
 pub use alloc_vec::AllocVec;
 pub use api::MtAllocator;
 pub use chunk::{ChunkSource, FailingSource, LimitedSource, SourceStats, SystemSource};
-pub use header::{read_header, write_header, HeaderWord, Tag, HEADER_SIZE};
+pub use fault::{FaultPlan, InjectingSource};
+pub use header::{read_header, try_read_header, write_header, HeaderWord, Tag, HEADER_SIZE};
 pub use size_class::{SizeClass, SizeClassTable, MAX_CLASSES};
 pub use stats::{AllocSnapshot, AllocStats};
 pub use util::{align_down, align_up, CACHE_LINE, MIN_ALIGN};

@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn table_is_const_constructible() {
-        assert!(TABLE.len() > 0);
+        assert!(!TABLE.is_empty());
         assert_eq!(TABLE.max_size(), 4096);
     }
 

@@ -40,6 +40,10 @@ pub struct CacheModel {
     /// thread interleaving is too coarse for the last-writer model
     /// alone. Workloads register blocks on allocation (see
     /// [`register_block`](Self::register_block)).
+    ///
+    /// Locked with `unwrap_or_else(|e| e.into_inner())`: a panicking
+    /// workload thread must not poison the whole simulation — the map
+    /// is a monotonic residency record, valid even mid-update.
     residency: Mutex<HashMap<usize, ProcCounts>>,
     remote_transfers: AtomicU64,
     local_hits: AtomicU64,
@@ -107,7 +111,7 @@ impl CacheModel {
             return;
         }
         let me = current_proc();
-        let mut map = self.residency.lock().expect("residency poisoned");
+        let mut map = self.residency.lock().unwrap_or_else(|e| e.into_inner());
         let mut line = ptr as usize & !(LINE - 1);
         let end = ptr as usize + len;
         while line < end {
@@ -124,7 +128,7 @@ impl CacheModel {
         if len == 0 {
             return;
         }
-        let mut map = self.residency.lock().expect("residency poisoned");
+        let mut map = self.residency.lock().unwrap_or_else(|e| e.into_inner());
         let mut line = ptr as usize & !(LINE - 1);
         let end = ptr as usize + len;
         while line < end {
@@ -138,7 +142,7 @@ impl CacheModel {
     }
 
     fn line_is_shared(&self, line: usize, me: usize) -> bool {
-        let map = self.residency.lock().expect("residency poisoned");
+        let map = self.residency.lock().unwrap_or_else(|e| e.into_inner());
         map.get(&line).is_some_and(|c| c.shared_beyond(me))
     }
 
@@ -210,7 +214,7 @@ impl CacheModel {
         for slot in self.dir.iter() {
             slot.store(0, Ordering::Relaxed);
         }
-        self.residency.lock().expect("residency poisoned").clear();
+        self.residency.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.remote_transfers.store(0, Ordering::Relaxed);
         self.local_hits.store(0, Ordering::Relaxed);
     }

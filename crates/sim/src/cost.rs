@@ -255,8 +255,10 @@ mod tests {
 
     #[test]
     fn install_changes_lookup() {
-        let mut model = CostModel::default();
-        model.cache_remote = 1234;
+        let model = CostModel {
+            cache_remote: 1234,
+            ..Default::default()
+        };
         model.install();
         assert_eq!(get(Cost::CacheRemote), 1234);
         CostModel::default().install();

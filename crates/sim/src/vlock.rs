@@ -215,18 +215,17 @@ mod tests {
     fn real_mutual_exclusion_under_hammering() {
         // Classic counter test: without real mutual exclusion the final
         // count would be lost-update-corrupted.
-        let l = Arc::new(VLock::new());
-        let counter = Arc::new(std::cell::UnsafeCell::new(0u64));
-        struct SendPtr(Arc<std::cell::UnsafeCell<u64>>);
-        unsafe impl Send for SendPtr {}
+        struct RacyCell(std::cell::UnsafeCell<u64>);
         // Safety: all accesses to the cell happen under `l`.
-        unsafe impl Sync for SendPtr {}
+        unsafe impl Send for RacyCell {}
+        unsafe impl Sync for RacyCell {}
+        let l = Arc::new(VLock::new());
+        let counter = Arc::new(RacyCell(std::cell::UnsafeCell::new(0u64)));
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let l = Arc::clone(&l);
-                let c = SendPtr(Arc::clone(&counter));
+                let c = Arc::clone(&counter);
                 std::thread::spawn(move || {
-                    let c = c; // move the whole wrapper, not just `c.0`
                     for _ in 0..10_000 {
                         let _g = l.lock();
                         unsafe { *c.0.get() += 1 };
@@ -237,7 +236,7 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        assert_eq!(unsafe { *counter.get() }, 40_000);
+        assert_eq!(unsafe { *counter.0.get() }, 40_000);
         assert_eq!(l.acquisitions(), 40_000);
     }
 

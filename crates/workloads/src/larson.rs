@@ -77,21 +77,43 @@ pub fn run(alloc: &dyn MtAllocator, threads: usize, params: &Params) -> Workload
             .expect("receiver already taken");
         move || {
             let mut rng = Rng::new(params.seed, proc);
-            // Warm-up: fill the slots.
+            // Warm-up: fill the slots (under memory pressure, as many
+            // as the allocator will give us).
             let mut slots: Vec<Obj> = (0..params.slots_per_thread)
-                .map(|_| Obj::alloc(alloc, meter, rng.range(params.min_size, params.max_size)))
+                .filter_map(|_| {
+                    Obj::try_alloc(alloc, meter, rng.range(params.min_size, params.max_size))
+                })
                 .collect();
             for round in 0..params.rounds {
                 for _ in 0..params.ops_per_round {
+                    if slots.is_empty() {
+                        // Fully starved: try to re-seed a slot and move on.
+                        let size = rng.range(params.min_size, params.max_size);
+                        if let Some(fresh) = Obj::try_alloc(alloc, meter, size) {
+                            slots.push(fresh);
+                        }
+                        continue;
+                    }
                     let idx = rng.range(0, slots.len() - 1);
                     let size = rng.range(params.min_size, params.max_size);
-                    let fresh = Obj::alloc(alloc, meter, size);
-                    fresh.write();
-                    work(params.work_per_op);
-                    // This free is usually *remote*: after the first
-                    // round most slots were allocated by another thread.
-                    let old = std::mem::replace(&mut slots[idx], fresh);
-                    old.free(alloc, meter);
+                    match Obj::try_alloc(alloc, meter, size) {
+                        Some(fresh) => {
+                            fresh.write();
+                            work(params.work_per_op);
+                            // This free is usually *remote*: after the
+                            // first round most slots were allocated by
+                            // another thread.
+                            let old = std::mem::replace(&mut slots[idx], fresh);
+                            old.free(alloc, meter);
+                        }
+                        None => {
+                            // Replacement refused: release the victim
+                            // anyway, shedding load like a server under
+                            // memory pressure would.
+                            let old = slots.swap_remove(idx);
+                            old.free(alloc, meter);
+                        }
+                    }
                 }
                 if round + 1 < params.rounds {
                     // Bleed: hand the survivors to the next thread.

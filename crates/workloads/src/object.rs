@@ -30,18 +30,26 @@ impl Obj {
     ///
     /// # Panics
     ///
-    /// Panics if the allocator is exhausted (workloads treat OOM as
-    /// fatal, as the paper's C benchmarks do).
+    /// Panics if the allocator is exhausted. Workloads that measure the
+    /// paper's figures treat OOM as fatal, as its C benchmarks do;
+    /// robustness sweeps use [`try_alloc`](Self::try_alloc) instead.
     pub fn alloc(alloc: &dyn MtAllocator, meter: &LiveMeter, size: usize) -> Obj {
-        let p = unsafe { alloc.allocate(size) }.expect("workload allocation failed");
+        Self::try_alloc(alloc, meter, size).expect("workload allocation failed")
+    }
+
+    /// Like [`alloc`](Self::alloc), but a refused allocation returns
+    /// `None` (nothing is registered or metered) so workloads can
+    /// degrade gracefully under injected memory pressure.
+    pub fn try_alloc(alloc: &dyn MtAllocator, meter: &LiveMeter, size: usize) -> Option<Obj> {
+        let p = unsafe { alloc.allocate(size) }?;
         hoard_sim::register_block(p.as_ptr(), size);
         unsafe { hoard_sim::touch(p.as_ptr(), size, true) };
         meter.on_alloc(size as u64);
-        Obj {
+        Some(Obj {
             addr: p.as_ptr() as usize,
             size: size as u32,
             owner_proc: current_proc() as u32,
-        }
+        })
     }
 
     /// Write the object (cache-modelled plus a real volatile write).

@@ -66,10 +66,8 @@ pub fn run(alloc: &dyn MtAllocator, threads: usize, params: &Params) -> Workload
                 work(params.work_per_op);
                 slots[idx] = Some(obj);
             }
-            for slot in slots.drain(..) {
-                if let Some(obj) = slot {
-                    obj.free(alloc, meter);
-                }
+            for obj in slots.drain(..).flatten() {
+                obj.free(alloc, meter);
             }
         }
     });

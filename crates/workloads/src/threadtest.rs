@@ -49,9 +49,13 @@ pub fn run(alloc: &dyn MtAllocator, threads: usize, params: &Params) -> Workload
             let mut batch: Vec<Obj> = Vec::with_capacity(params.batch);
             for _ in 0..rounds {
                 for _ in 0..params.batch {
-                    let obj = Obj::alloc(alloc, meter, params.size);
-                    work(params.work_per_object);
-                    batch.push(obj);
+                    // A refused allocation shrinks the batch instead of
+                    // aborting the run: with unconstrained memory the
+                    // behavior is identical, and OOM sweeps stay clean.
+                    if let Some(obj) = Obj::try_alloc(alloc, meter, params.size) {
+                        work(params.work_per_object);
+                        batch.push(obj);
+                    }
                 }
                 for obj in batch.drain(..) {
                     obj.write();

@@ -1,0 +1,130 @@
+//! Out-of-memory sweep over the allocation-heavy workloads.
+//!
+//! [`LimitedSource`] caps the byte budget at every level from "nothing
+//! at all" up through "barely one superblock" to "comfortable", and the
+//! full `threadtest` and `larson` benchmarks run at each level. The
+//! contract under any budget:
+//!
+//! * no panic anywhere — every refused chunk surfaces as a clean `None`
+//!   that the workload absorbs;
+//! * no leak — the workload drains to `live_current == 0`, the heap
+//!   scan balances, and dropping the allocator returns every chunk;
+//! * no false corruption reports under `Full` hardening.
+//!
+//! Capacity 0 exercises the total-starvation path at *every* allocation
+//! call site; intermediate capacities force mid-run failures on the
+//! fast path, superblock acquisition, and large-object path alike.
+
+use hoard_core::{debug, HardeningLevel, HoardAllocator, HoardConfig};
+use hoard_mem::{ChunkSource, LimitedSource, MtAllocator, SystemSource};
+use hoard_workloads::{larson, threadtest};
+
+/// Budgets from total starvation, through single-superblock scarcity,
+/// to roomy. Doubling steps catch the transitions in between.
+const CAPACITIES: [u64; 9] = [
+    0,
+    4_096,
+    8_192,
+    16_384,
+    32_768,
+    65_536,
+    262_144,
+    1 << 20,
+    8 << 20,
+];
+
+fn sweep(run: impl Fn(&dyn MtAllocator)) {
+    for cap in CAPACITIES {
+        let source = LimitedSource::new(SystemSource::new(), cap);
+        {
+            // `&source` is itself a ChunkSource, so the source outlives
+            // the allocator and stays inspectable after its Drop.
+            let alloc = HoardAllocator::with_source(
+                HoardConfig::new().with_hardening(HardeningLevel::Full),
+                &source,
+            )
+            .expect("config is valid");
+            run(&alloc);
+            assert_eq!(
+                alloc.stats().live_current,
+                0,
+                "leaked objects at capacity {cap}"
+            );
+            assert_eq!(
+                alloc.corruption_log().total(),
+                0,
+                "OOM misread as corruption at capacity {cap}"
+            );
+            debug::check_invariants(&alloc)
+                .unwrap_or_else(|e| panic!("invariants broken at capacity {cap}: {e:?}"));
+        }
+        assert_eq!(
+            source.stats().held_current,
+            0,
+            "leaked chunks at capacity {cap}"
+        );
+    }
+}
+
+#[test]
+fn threadtest_survives_every_memory_budget() {
+    let params = threadtest::Params {
+        total_objects: 2_000,
+        batch: 50,
+        size: 8,
+        work_per_object: 5,
+    };
+    sweep(|alloc| {
+        threadtest::run(alloc, 4, &params);
+    });
+}
+
+#[test]
+fn larson_survives_every_memory_budget() {
+    let params = larson::Params {
+        slots_per_thread: 100,
+        rounds: 3,
+        ops_per_round: 400,
+        work_per_op: 5,
+        ..larson::Params::default()
+    };
+    sweep(|alloc| {
+        larson::run(alloc, 4, &params);
+    });
+}
+
+#[test]
+fn unconstrained_runs_are_unchanged_by_oom_tolerance() {
+    // With a roomy budget nothing is ever refused, so the tolerant
+    // paths must reproduce the ordinary results exactly: full op
+    // counts, zero leaks, and (for larson) the cross-thread bleeding
+    // that defines the benchmark.
+    let source = LimitedSource::new(SystemSource::new(), 64 << 20);
+    let alloc = HoardAllocator::with_source(HoardConfig::new(), &source).expect("valid");
+
+    let tt = threadtest::run(
+        &alloc,
+        4,
+        &threadtest::Params {
+            total_objects: 4_000,
+            batch: 50,
+            size: 8,
+            work_per_object: 30,
+        },
+    );
+    assert_eq!(tt.snapshot.allocs, 4_000, "no allocation was skipped");
+    assert_eq!(tt.snapshot.live_current, 0);
+
+    let la = larson::run(
+        &alloc,
+        4,
+        &larson::Params {
+            slots_per_thread: 100,
+            rounds: 3,
+            ops_per_round: 500,
+            ..larson::Params::default()
+        },
+    );
+    assert_eq!(la.snapshot.live_current, 0);
+    assert!(la.snapshot.remote_frees > 0, "bleeding still happens");
+}

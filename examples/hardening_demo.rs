@@ -1,0 +1,97 @@
+//! Demonstrates the hardened allocation paths: classic heap-corruption
+//! patterns produce typed reports (never UB, never a panic), and
+//! out-of-memory is a clean, recoverable result.
+//!
+//! Run with: `cargo run --example hardening_demo`
+
+use hoard_core::{CorruptionReport, HardeningLevel, HoardAllocator, HoardConfig};
+use hoard_mem::{ChunkSource, LimitedSource, MtAllocator, SystemSource};
+
+fn on_corruption(r: &CorruptionReport) {
+    println!("  [hook] {:?} at {:#x}: {}", r.kind, r.address, r.note);
+}
+
+fn main() {
+    let hoard = HoardAllocator::with_config(
+        HoardConfig::new().with_hardening(HardeningLevel::Full),
+    )
+    .expect("valid config");
+    hoard.corruption_log().set_hook(Some(on_corruption));
+
+    println!("== double free ==");
+    unsafe {
+        let p = hoard.allocate(48).unwrap();
+        hoard.deallocate(p);
+        hoard.deallocate(p); // reported, not UB
+    }
+
+    println!("== buffer overrun (canary) ==");
+    unsafe {
+        let p = hoard.allocate(24).unwrap();
+        p.as_ptr().add(24).write(0xFF); // one byte past the payload
+        hoard.deallocate(p); // canary smashed -> block quarantined
+    }
+
+    println!("== use-after-free write (poison) ==");
+    unsafe {
+        let p = hoard.allocate(96).unwrap();
+        hoard.deallocate(p);
+        p.as_ptr().add(16).write(0xAA); // dangling write
+        let q = hoard.allocate(96).unwrap(); // reuse detects the overwrite
+        hoard.deallocate(q);
+    }
+
+    println!("== wild pointers ==");
+    unsafe {
+        let p = hoard.allocate(64).unwrap();
+        hoard.deallocate(std::ptr::NonNull::new_unchecked(p.as_ptr().add(1)));
+        hoard.deallocate(p);
+    }
+
+    let log = hoard.corruption_log();
+    println!(
+        "\ntotal reports: {}, quarantined blocks: {}",
+        log.total(),
+        log.quarantined()
+    );
+    for r in log.recent() {
+        println!("  {:?}: {}", r.kind, r.note);
+    }
+
+    println!("\n== out-of-memory is a value, and recovery rescues it ==");
+    let source = LimitedSource::new(SystemSource::new(), 200_000);
+    let constrained = HoardAllocator::with_source(HoardConfig::new(), &source).unwrap();
+    unsafe {
+        // Fill and drain: the allocator now hoards empty superblocks.
+        let ptrs: Vec<_> = (0..60)
+            .map(|_| constrained.allocate(2048).unwrap())
+            .collect();
+        for p in ptrs {
+            constrained.deallocate(p);
+        }
+        println!(
+            "held after drain: {} bytes of {} budget",
+            source.stats().held_current,
+            source.capacity()
+        );
+        // This request only fits if the hoarded empties go back first.
+        match constrained.allocate(100_000) {
+            Some(p) => {
+                println!("100 KiB served after reclaiming empties");
+                constrained.deallocate(p);
+            }
+            None => println!("100 KiB refused (no panic, no corruption)"),
+        }
+        let rec = constrained.recovery_stats();
+        println!(
+            "recovery: {} chunks reclaimed, {} allocations rescued",
+            rec.chunk_reclaims, rec.rescued_allocations
+        );
+        // Total starvation: every allocation is a clean None.
+        let starved =
+            HoardAllocator::with_source(HoardConfig::new(), LimitedSource::new(SystemSource::new(), 0))
+                .unwrap();
+        assert!(starved.allocate(8).is_none());
+        println!("zero-budget allocator refuses cleanly");
+    }
+}
