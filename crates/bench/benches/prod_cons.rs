@@ -1,0 +1,53 @@
+//! Producer–consumer throughput curves in virtual time.
+//!
+//! The companion bench to the magazine front-end: producers allocate
+//! flat-out while consumers free foreign blocks, so the makespan is
+//! dominated by how the allocator resolves cross-thread frees. Compare
+//! the `hoard` and `hoard-mag` series: the magazine variant routes
+//! consumer frees through per-superblock deferred stacks (one CAS)
+//! instead of the owner heap's lock. Benchmark ids are
+//! `<allocator>/P<threads>`; values are virtual makespans reported as
+//! nanoseconds, as in `speedup_curves`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoard_bench::measure_virtual;
+use hoard_harness::AllocatorKind;
+use hoard_workloads as wl;
+
+const THREADS: &[usize] = &[1, 2, 8, 14];
+
+fn bench_prod_cons(c: &mut Criterion) {
+    let params = wl::prod_cons::Params {
+        total_objects: 20_000,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("pc_prod_cons");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for kind in AllocatorKind::sweep() {
+        for &p in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), format!("P{p}")),
+                &p,
+                |b, &p| {
+                    b.iter_custom(|iters| {
+                        measure_virtual(iters, &|| kind.build(), &|a| {
+                            wl::prod_cons::run(a, p, &params)
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    // Virtual-time measurements are deterministic (zero variance); the
+    // plotters backend panics on degenerate ranges, so plots stay off.
+    config = Criterion::default().without_plots();
+    targets = bench_prod_cons,
+}
+criterion_main!(figures);

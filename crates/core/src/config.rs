@@ -61,6 +61,16 @@ pub struct HoardConfig {
     /// [`HardeningLevel`]; `Off` reproduces the paper's allocator.
     #[serde(default)]
     pub hardening: HardeningLevel,
+    /// Capacity (in blocks, per thread slot and size class) of the
+    /// thread-local magazine front-end. `0` disables the front-end
+    /// entirely — every `malloc`/`free` takes the owning heap's lock,
+    /// reproducing the paper's allocator bit for bit. Non-zero values
+    /// are clamped to [`crate::magazine::MAX_MAGAZINE_CAPACITY`];
+    /// magazine-held blocks stay counted in the owning heap's `u`/`a`,
+    /// so the emptiness invariant and the blowup bound gain only the
+    /// bounded additive term derived in DESIGN.md §9.
+    #[serde(default)]
+    pub magazine_capacity: usize,
 }
 
 impl HoardConfig {
@@ -74,7 +84,15 @@ impl HoardConfig {
             heap_count: 16,
             release_empty_to_os: false,
             hardening: HardeningLevel::Off,
+            magazine_capacity: 0,
         }
+    }
+
+    /// The paper's configuration plus the thread-local magazine
+    /// front-end at its default capacity
+    /// ([`DEFAULT_MAGAZINE_CAPACITY`](crate::magazine::DEFAULT_MAGAZINE_CAPACITY)).
+    pub const fn with_default_magazines() -> Self {
+        Self::new().with_magazine_capacity(crate::magazine::DEFAULT_MAGAZINE_CAPACITY)
     }
 
     /// Set the superblock size `S` (bytes; power of two, ≥ 1 KiB).
@@ -116,6 +134,13 @@ impl HoardConfig {
         self
     }
 
+    /// Set the per-thread, per-class magazine capacity (0 = front-end
+    /// off).
+    pub const fn with_magazine_capacity(mut self, blocks: usize) -> Self {
+        self.magazine_capacity = blocks;
+        self
+    }
+
     /// Largest request served from superblocks; larger allocations go
     /// straight to the chunk source (the paper's `S/2` rule).
     pub const fn large_threshold(&self) -> usize {
@@ -140,6 +165,9 @@ impl HoardConfig {
         }
         if self.heap_count == 0 || self.heap_count > MAX_HEAPS {
             return Err(ConfigError::BadHeapCount);
+        }
+        if self.magazine_capacity > crate::magazine::MAX_MAGAZINE_CAPACITY {
+            return Err(ConfigError::BadMagazineCapacity);
         }
         Ok(())
     }
@@ -191,6 +219,9 @@ pub enum ConfigError {
     BadEmptyFraction,
     /// Heap count is zero or exceeds [`MAX_HEAPS`].
     BadHeapCount,
+    /// Magazine capacity exceeds
+    /// [`MAX_MAGAZINE_CAPACITY`](crate::magazine::MAX_MAGAZINE_CAPACITY).
+    BadMagazineCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -204,6 +235,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadHeapCount => {
                 write!(f, "heap count must be in 1..={MAX_HEAPS}")
+            }
+            ConfigError::BadMagazineCapacity => {
+                write!(
+                    f,
+                    "magazine capacity must be at most {}",
+                    crate::magazine::MAX_MAGAZINE_CAPACITY
+                )
             }
         }
     }
@@ -304,6 +342,23 @@ mod tests {
         const C: HoardConfig = HoardConfig::new().with_hardening(HardeningLevel::Full);
         assert_eq!(C.hardening, HardeningLevel::Full);
         assert!(C.validate().is_ok(), "hardening never invalidates a config");
+    }
+
+    #[test]
+    fn magazine_capacity_defaults_off_and_validates() {
+        assert_eq!(HoardConfig::new().magazine_capacity, 0, "front-end off");
+        const C: HoardConfig = HoardConfig::with_default_magazines();
+        assert_eq!(
+            C.magazine_capacity,
+            crate::magazine::DEFAULT_MAGAZINE_CAPACITY
+        );
+        assert!(C.validate().is_ok());
+        assert_eq!(
+            HoardConfig::new()
+                .with_magazine_capacity(crate::magazine::MAX_MAGAZINE_CAPACITY + 1)
+                .validate(),
+            Err(ConfigError::BadMagazineCapacity)
+        );
     }
 
     #[test]

@@ -191,6 +191,40 @@ impl Heap {
         (ptr::null_mut(), 0)
     }
 
+    /// Head of the `bins[class][group]` list (null when empty). The
+    /// front-end's remote-drain scan walks the full group with this.
+    ///
+    /// # Safety
+    ///
+    /// Lock held; `class < MAX_CLASSES`, `group <= FULLNESS_GROUPS`.
+    pub unsafe fn group_head(&self, class: usize, group: usize) -> *mut Superblock {
+        self.bins[class][group].load(Ordering::Relaxed)
+    }
+
+    /// First linked superblock with a pending deferred remote-free
+    /// stack, or null. The quiescent flush rescans after every drain —
+    /// O(n²) worst case but allocation-free, which matters inside a
+    /// `#[global_allocator]`. (Empty-list superblocks can't have
+    /// pending frees: parked blocks keep `in_use > 0`.)
+    ///
+    /// # Safety
+    ///
+    /// Lock held.
+    pub unsafe fn find_remote_pending(&self) -> *mut Superblock {
+        for class_bins in self.bins.iter() {
+            for head in class_bins.iter() {
+                let mut cur = head.load(Ordering::Relaxed);
+                while !cur.is_null() {
+                    if Superblock::remote_pending(cur) {
+                        return cur;
+                    }
+                    cur = (*cur).next;
+                }
+            }
+        }
+        ptr::null_mut()
+    }
+
     /// Telemetry/validation: total superblocks linked (O(n), lock held).
     ///
     /// # Safety

@@ -31,6 +31,7 @@
 use crate::config::HoardConfig;
 use crate::harden::{self, CorruptionKind, CorruptionLog};
 use crate::heap::Heap;
+use crate::magazine::{Magazine, MagazineSlot, SlotClaim, MAG_CLASSES, MAG_SLOTS};
 use crate::superblock::Superblock;
 use crate::MAX_HEAPS;
 use hoard_mem::{
@@ -109,6 +110,10 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     /// double frees can only be caught against this registry.
     large_live: Mutex<Vec<usize>>,
     recovery: RecoveryStats,
+    /// Thread-local front-end: per-virtual-processor magazines of
+    /// detached free blocks (slot = `proc % MAG_SLOTS`). Inert when
+    /// `config.magazine_capacity == 0`.
+    frontend: [MagazineSlot; MAG_SLOTS],
 }
 
 impl HoardAllocator<SystemSource> {
@@ -147,6 +152,7 @@ impl HoardAllocator<SystemSource> {
             log: CorruptionLog::new(),
             large_live: Mutex::new(Vec::new()),
             recovery: RecoveryStats::new(),
+            frontend: [const { MagazineSlot::new() }; MAG_SLOTS],
         }
     }
 }
@@ -169,6 +175,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             log: CorruptionLog::new(),
             large_live: Mutex::new(Vec::new()),
             recovery: RecoveryStats::new(),
+            frontend: [const { MagazineSlot::new() }; MAG_SLOTS],
         })
     }
 
@@ -225,6 +232,449 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         }
     }
 
+    /// Whether the thread-local magazine front-end is enabled.
+    fn magazines_on(&self) -> bool {
+        self.config.magazine_capacity != 0
+    }
+
+    /// Total (acquisitions, virtually contended acquisitions) across all
+    /// heap locks — the counters behind the "fast path bypasses the
+    /// lock" measurements in `results/`.
+    pub fn heap_lock_stats(&self) -> (u64, u64) {
+        let mut acq = 0;
+        let mut con = 0;
+        for heap in self.heaps.iter().take(self.config.heap_count + 1) {
+            acq += heap.lock.acquisitions();
+            con += heap.lock.contentions();
+        }
+        (acq, con)
+    }
+
+    // ----- the thread-local front-end (magazines + deferred frees) -----
+
+    /// Deferred remote frees tolerated on one superblock before foreign
+    /// `free`s fall back to the locked path (which drains): half the
+    /// superblock's blocks, so a producer can never park more than half
+    /// a superblock per superblock.
+    fn remote_limit(capacity: u32) -> u32 {
+        (capacity / 2).max(1)
+    }
+
+    /// Fast-path `malloc`: pop from this processor's magazine, refilling
+    /// a half-capacity batch under one lock acquisition when dry.
+    /// `None` (slot collision or refill OOM) falls back to the locked
+    /// path.
+    unsafe fn magazine_alloc(&self, class: usize) -> Option<NonNull<u8>> {
+        let slot = &self.frontend[current_proc() % MAG_SLOTS];
+        let claim = slot.try_claim()?;
+        let mag = claim.magazine(class);
+        let p = match mag.pop() {
+            Some(p) => {
+                charge_cost(Cost::MagazineOp);
+                self.stats.on_magazine_alloc_hit();
+                p
+            }
+            None => {
+                charge_cost(Cost::MallocFast);
+                if self.refill_magazine(class, mag) == 0 {
+                    return None;
+                }
+                self.stats.on_magazine_refill();
+                mag.pop()?
+            }
+        };
+        let block_size = self.classes.class(class).block_size;
+        self.prepare_block_for_handout(p, block_size);
+        self.stats.on_alloc(block_size as u64);
+        Some(NonNull::new_unchecked(p))
+    }
+
+    /// Hardening transforms a block needs on its way out of a magazine;
+    /// mirrors what `alloc_small` does after `alloc_block`.
+    unsafe fn prepare_block_for_handout(&self, p: *mut u8, block_size: u32) {
+        if self.config.hardening.detects() {
+            let h = read_header(p);
+            if h.tag == Tag::Freed {
+                // Stashed by a front-end free: its poison sat unguarded
+                // in the magazine; check before reuse.
+                if self.config.hardening.poisons() && !harden::poison_intact(p, block_size) {
+                    self.log.report(
+                        CorruptionKind::PoisonOverwrite,
+                        p as usize,
+                        "freed block modified before reuse",
+                    );
+                }
+                write_header(p, HeaderWord::new(Tag::Superblock, h.value));
+            }
+        }
+        if self.config.hardening.poisons() {
+            harden::write_canary(p, block_size);
+        }
+    }
+
+    /// Pull a half-capacity batch of blocks for `class` into `mag` under
+    /// one acquisition of the caller's heap lock, draining deferred
+    /// remote frees first (the producer–consumer return path). Returns
+    /// the number of blocks obtained (0 = heap and source exhausted).
+    unsafe fn refill_magazine(&self, class: usize, mag: &mut Magazine) -> usize {
+        let block_size = self.classes.class(class).block_size;
+        let s = self.config.superblock_size;
+        let hi = self.heap_index_for_current_thread();
+        let heap = &self.heaps[hi];
+        let _guard = heap.lock.lock();
+
+        // Full superblocks are exactly where deferred remote frees pool
+        // up (the consumer's heap looks exhausted while its blocks sit
+        // parked); recover them before pulling fresh memory.
+        let mut trigger = self.drain_full_group_remotes(heap, class);
+
+        let want = (self.config.magazine_capacity / 2).max(1);
+        let mut got = 0usize;
+        let mut escalated = false;
+        while got < want {
+            // The same four-step waterfall as `alloc_small_attempt`.
+            let mut sb = heap.find_with_free(class);
+            if sb.is_null() {
+                sb = heap.pop_empty();
+                if !sb.is_null() {
+                    if (*sb).class as usize != class {
+                        let before = Superblock::usable_bytes(sb);
+                        Superblock::reformat(sb, s, class as u32, block_size, self.block_extra());
+                        let after = Superblock::usable_bytes(sb);
+                        heap.a.fetch_add(after, Relaxed);
+                        heap.a.fetch_sub(before, Relaxed);
+                    }
+                    heap.link(sb);
+                }
+            }
+            if sb.is_null() && !escalated {
+                // Cross-thread churn parks blocks on partially-full
+                // superblocks' deferred stacks too; a whole-class drain
+                // beats transferring or mapping fresh memory. Once per
+                // refill: a second pass would find the stacks empty.
+                escalated = true;
+                trigger |= self.drain_class_remotes(heap, class);
+                continue;
+            }
+            if sb.is_null() {
+                sb = self.fetch_from_global(heap, hi, class, block_size);
+            }
+            if sb.is_null() {
+                let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
+                let Some(chunk) = self.source.alloc_chunk(layout) else {
+                    break;
+                };
+                sb = Superblock::init(
+                    chunk.as_ptr(),
+                    s,
+                    class as u32,
+                    block_size,
+                    hi,
+                    self.block_extra(),
+                );
+                heap.a.fetch_add(Superblock::usable_bytes(sb), Relaxed);
+                heap.link(sb);
+            }
+            if Superblock::remote_pending(sb) {
+                // Draining can re-home `sb` — onto the empty list when
+                // every live block was sitting parked — so reselect
+                // instead of allocating from a possibly-moved superblock.
+                trigger |= self.drain_remote_locked(heap, sb);
+                continue;
+            }
+            let mut taken = 0u64;
+            while got < want && Superblock::has_free(sb) {
+                let reused = self.config.hardening.poisons() && !(*sb).free_head.is_null();
+                let p = Superblock::alloc_block(sb);
+                if reused && !harden::poison_intact(p, block_size) {
+                    self.log.report(
+                        CorruptionKind::PoisonOverwrite,
+                        p as usize,
+                        "freed block modified before reuse",
+                    );
+                }
+                mag.push(p);
+                taken += 1;
+                got += 1;
+            }
+            heap.u.fetch_add(taken * block_size as u64, Relaxed);
+            heap.relink(sb);
+            if !self.config.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+                (*sb).armed = true;
+            }
+        }
+        // Restore only when a drain fired the armed-latch trigger (the
+        // same hysteresis as `free_small`): refills run every few dozen
+        // allocations, and restoring unconditionally here ping-pongs
+        // marginal superblocks through the global heap.
+        if trigger {
+            self.restore_invariant(heap, hi);
+        }
+        got
+    }
+
+    /// Fast-path `free`. Returns `true` when handled: same-heap blocks
+    /// stash into the magazine (flushing half when full), foreign blocks
+    /// push onto their superblock's deferred stack. `false` (slot
+    /// collision, global-owned block, or drain pressure) sends the
+    /// caller to the locked path.
+    unsafe fn frontend_free(&self, sb: *mut Superblock, payload: *mut u8) -> bool {
+        let block_size = (*sb).block_size;
+        let owner = Superblock::owner(sb);
+        if owner == self.heap_index_for_current_thread() {
+            let slot = &self.frontend[current_proc() % MAG_SLOTS];
+            let Some(claim) = slot.try_claim() else {
+                return false;
+            };
+            let mag = claim.magazine((*sb).class as usize);
+            if mag.len() >= self.config.magazine_capacity {
+                self.flush_magazine(mag);
+                self.stats.on_magazine_flush();
+            }
+            if !self.harden_on_stash(sb, payload, block_size) {
+                return true; // quarantined: handled, nothing stashed
+            }
+            mag.push(payload);
+            charge_cost(Cost::MagazineOp);
+            self.stats.on_magazine_free_hit();
+            self.stats.on_free(block_size as u64, false);
+            true
+        } else if owner != 0 {
+            // Foreign per-processor heap: defer instead of bouncing its
+            // lock — until the stack is deep enough that someone should
+            // take the lock and drain it.
+            if (*sb).remote_count.load(Relaxed) >= Self::remote_limit((*sb).capacity) {
+                return false;
+            }
+            if !self.harden_on_stash(sb, payload, block_size) {
+                return true;
+            }
+            Superblock::push_remote(sb, payload);
+            charge_cost(Cost::RemoteFreePush);
+            self.stats.on_remote_push();
+            self.stats.on_free(block_size as u64, true);
+            true
+        } else {
+            // Global-owned: the locked path may also release empties.
+            false
+        }
+    }
+
+    /// Hardening transforms for a block entering a magazine or deferred
+    /// stack — the same checks the locked `free_small` runs, so
+    /// detection fires no later than it would without the front-end.
+    /// Returns `false` when the block was quarantined (caller must not
+    /// stash it).
+    unsafe fn harden_on_stash(&self, sb: *mut Superblock, payload: *mut u8, block_size: u32) -> bool {
+        if self.config.hardening.poisons() && !harden::canary_intact(payload, block_size) {
+            self.log.report(
+                CorruptionKind::CanarySmashed,
+                payload as usize,
+                "block quarantined",
+            );
+            self.log.on_quarantine();
+            return false;
+        }
+        if self.config.hardening.detects() {
+            // A second free of this pointer now hits Tag::Freed in
+            // `deallocate_hardened`, exactly as on the locked path.
+            write_header(payload, HeaderWord::new(Tag::Freed, sb as usize));
+        }
+        if self.config.hardening.poisons() {
+            harden::poison_payload(payload, block_size);
+        }
+        true
+    }
+
+    /// Return the oldest half of `mag` to the heaps under one
+    /// acquisition of the caller's own heap lock; blocks whose
+    /// superblock migrated away since they were stashed go through the
+    /// lock-free deferred stacks (never a second heap lock — the lock
+    /// order stays per-processor → global).
+    unsafe fn flush_magazine(&self, mag: &mut Magazine) {
+        let mut batch = [std::ptr::null_mut(); crate::magazine::MAX_MAGAZINE_CAPACITY];
+        let n = mag.take_oldest((self.config.magazine_capacity / 2).max(1), &mut batch);
+        let hi = self.heap_index_for_current_thread();
+        let heap = &self.heaps[hi];
+        let _guard = heap.lock.lock();
+        let mut trigger = false;
+        for &p in &batch[..n] {
+            let sb = read_header(p).value as *mut Superblock;
+            if Superblock::owner(sb) == hi {
+                let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                Superblock::free_block(sb, p);
+                heap.u.fetch_sub((*sb).block_size as u64, Relaxed);
+                heap.relink(sb);
+                let crossed =
+                    !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                let too_many_empties = (*sb).in_use == 0
+                    && heap.empty_count.load(Relaxed) > self.config.slack_k;
+                trigger |= ((*sb).armed && crossed) || too_many_empties;
+                if crossed {
+                    (*sb).armed = false;
+                }
+            } else {
+                Superblock::push_remote(sb, p);
+            }
+        }
+        // Same armed-latch hysteresis as `free_small`: a batch of frees
+        // only restores the invariant when it moved an armed superblock
+        // across the f-emptiness boundary (or hoarded > K empties).
+        if trigger {
+            self.restore_invariant(heap, hi);
+        }
+    }
+
+    /// Drain one superblock's deferred remote-free stack into its free
+    /// list. Caller holds the owning heap's lock; `sb` is linked there.
+    ///
+    /// Returns whether the drain should trigger invariant restoration —
+    /// the same armed-latch hysteresis as `free_small`, evaluated once
+    /// for the whole batch. An unconditional restore here would migrate
+    /// a superblock to the global heap on nearly every drain (batched
+    /// frees routinely dip `u` below the boundary) only for the next
+    /// refill to fetch it straight back: transfer ping-pong that costs
+    /// more than the locks the front-end saves.
+    unsafe fn drain_remote_locked(&self, heap: &Heap, sb: *mut Superblock) -> bool {
+        let mut p = Superblock::take_remote(sb);
+        if p.is_null() {
+            return false;
+        }
+        let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let block_size = (*sb).block_size as u64;
+        let mut n = 0u32;
+        while !p.is_null() {
+            let next = (p as *mut *mut u8).read();
+            Superblock::free_block(sb, p);
+            n += 1;
+            p = next;
+        }
+        Superblock::note_drained(sb, n);
+        heap.u.fetch_sub(block_size * n as u64, Relaxed);
+        heap.relink(sb);
+        self.stats.on_remote_drain();
+        let crossed = !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let too_many_empties =
+            (*sb).in_use == 0 && heap.empty_count.load(Relaxed) > self.config.slack_k;
+        let trigger = ((*sb).armed && crossed) || too_many_empties;
+        if crossed {
+            (*sb).armed = false;
+        }
+        trigger
+    }
+
+    /// Drain deferred stacks parked on `class`'s *full* superblocks —
+    /// where producer–consumer traffic pools, since a superblock whose
+    /// blocks all sit with the consumer looks full to its owner.
+    unsafe fn drain_full_group_remotes(&self, heap: &Heap, class: usize) -> bool {
+        self.drain_group_remotes(heap, class, Superblock::full_group())
+    }
+
+    /// Escalation before paying for a fresh superblock: drain deferred
+    /// stacks across *every* fullness group of `class`. Cross-thread
+    /// churn (larson-style bleeding) parks blocks on partially-full
+    /// superblocks too, and recovering them beats an `OsChunk` by orders
+    /// of magnitude.
+    unsafe fn drain_class_remotes(&self, heap: &Heap, class: usize) -> bool {
+        let mut trigger = false;
+        for group in 0..=Superblock::full_group() {
+            trigger |= self.drain_group_remotes(heap, class, group);
+        }
+        trigger
+    }
+
+    unsafe fn drain_group_remotes(&self, heap: &Heap, class: usize, group: usize) -> bool {
+        let mut trigger = false;
+        let mut sb = heap.group_head(class, group);
+        while !sb.is_null() {
+            let next = (*sb).next; // drain relinks; step first
+            if Superblock::remote_pending(sb) {
+                trigger |= self.drain_remote_locked(heap, sb);
+            }
+            sb = next;
+        }
+        trigger
+    }
+
+    /// Park every block of an already-claimed slot on its superblock's
+    /// deferred stack (lock-free; the stacks are drained under the
+    /// proper heap locks afterwards).
+    unsafe fn park_claimed_slot(&self, claim: &SlotClaim<'_>) {
+        for class in 0..MAG_CLASSES {
+            let mag = claim.magazine(class);
+            while let Some(p) = mag.pop() {
+                let h = read_header(p);
+                let sb = h.value as *mut Superblock;
+                // A magazine holds blocks in two states: stashed by a
+                // front-end free (already retagged `Freed` and poisoned
+                // by `harden_on_stash`) and loaded by a refill (still
+                // tagged `Superblock`, never poisoned — hardening is
+                // deferred to handout). Parking sends both to the free
+                // list, whose invariant under hardening is
+                // `Freed`-tagged and poison-intact; give refill-loaded
+                // blocks the stash transforms now or the next reuse
+                // check misreads them as corruption. (No canary check:
+                // refill-loaded blocks only get a canary at handout.)
+                if self.config.hardening.detects() && h.tag != Tag::Freed {
+                    write_header(p, HeaderWord::new(Tag::Freed, sb as usize));
+                    if self.config.hardening.poisons() {
+                        harden::poison_payload(p, (*sb).block_size);
+                    }
+                }
+                Superblock::push_remote(sb, p);
+            }
+        }
+    }
+
+    /// Drain every superblock of `heap` with a pending deferred stack.
+    /// Allocation-free (rescans instead of collecting), so it is safe
+    /// inside a `#[global_allocator]`. Caller holds `heap`'s lock.
+    unsafe fn drain_all_remotes_locked(&self, heap: &Heap) {
+        loop {
+            let sb = heap.find_remote_pending();
+            if sb.is_null() {
+                return;
+            }
+            self.drain_remote_locked(heap, sb);
+        }
+    }
+
+    /// Flush every magazine and drain every deferred remote-free stack,
+    /// then re-establish the emptiness invariant on every heap.
+    ///
+    /// Intended for quiescent moments — between benchmark phases, or
+    /// before asserting `live == 0` / heap-emptiness postconditions in
+    /// tests. Spins briefly when an in-flight operation holds a slot
+    /// claim. No-op when the front-end is disabled.
+    pub fn flush_frontend(&self) {
+        if !self.magazines_on() {
+            return;
+        }
+        unsafe {
+            for slot in &self.frontend {
+                let claim = loop {
+                    match slot.try_claim() {
+                        Some(c) => break c,
+                        None => std::thread::yield_now(),
+                    }
+                };
+                self.park_claimed_slot(&claim);
+            }
+            // Per-processor heaps first: their restorations migrate
+            // superblocks *to* the global heap, which is settled last.
+            for hi in (0..=self.config.heap_count).rev() {
+                let heap = &self.heaps[hi];
+                let _guard = heap.lock.lock();
+                self.drain_all_remotes_locked(heap);
+                if hi == 0 {
+                    self.maybe_release_global_empties(heap);
+                } else {
+                    self.restore_invariant(heap, hi);
+                }
+            }
+        }
+    }
+
     // ----- malloc -----
 
     unsafe fn alloc_small(&self, class: usize) -> Option<NonNull<u8>> {
@@ -252,6 +702,23 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
 
         // 1. Fullest superblock of this class with a free block.
         let mut sb = heap.find_with_free(class);
+
+        // 1b. (Front-end only) An exhausted class may just mean its
+        //     blocks sit parked on full superblocks' deferred stacks;
+        //     recover those before pulling fresh memory.
+        if sb.is_null() && self.magazines_on() {
+            self.drain_full_group_remotes(heap, class);
+            sb = heap.find_with_free(class);
+        }
+
+        // 1c. (Front-end only) Still nothing: cross-thread churn also
+        //     parks blocks on *partially-full* superblocks. A whole-class
+        //     drain is pricier but beats transferring or mapping fresh
+        //     memory; superblocks drained to empty fall through to 2.
+        if sb.is_null() && self.magazines_on() {
+            self.drain_class_remotes(heap, class);
+            sb = heap.find_with_free(class);
+        }
 
         // 2. Recycle one of our own empty superblocks (any class).
         if sb.is_null() {
@@ -371,6 +838,19 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
 
     // ----- free -----
 
+    /// Route a validated small-block free: through the front-end when
+    /// magazines are on and the class qualifies, else (or on fallback)
+    /// through the locked path.
+    unsafe fn free_dispatch(&self, sb: *mut Superblock, payload: *mut u8) {
+        if self.magazines_on()
+            && ((*sb).class as usize) < MAG_CLASSES
+            && self.frontend_free(sb, payload)
+        {
+            return;
+        }
+        self.free_small(sb, payload);
+    }
+
     unsafe fn free_small(&self, sb: *mut Superblock, payload: *mut u8) {
         loop {
             let owner = Superblock::owner(sb);
@@ -378,7 +858,18 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             let guard = heap.lock.lock();
             if Superblock::owner(sb) != owner {
                 drop(guard);
-                continue; // superblock migrated; chase it
+                // Superblock migrated between the owner read and the
+                // lock; chase it. Counted so the targeted stress test
+                // (and production telemetry) can see the race fire.
+                self.stats.on_free_owner_retry();
+                continue;
+            }
+            let mut drain_trigger = false;
+            if self.magazines_on() && Superblock::remote_pending(sb) {
+                // Deferred foreign frees are drained by whoever next
+                // holds the owner's lock over this superblock — this is
+                // the forced-drain path once a stack hits remote_limit.
+                drain_trigger = self.drain_remote_locked(heap, sb);
             }
 
             let block_size = (*sb).block_size as u64;
@@ -438,7 +929,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 // a heap's free-space slack).
                 let too_many_empties = (*sb).in_use == 0
                     && heap.empty_count.load(Relaxed) > self.config.slack_k;
-                let trigger = ((*sb).armed && crossed) || too_many_empties;
+                let trigger = ((*sb).armed && crossed) || too_many_empties || drain_trigger;
                 if crossed {
                     (*sb).armed = false;
                 }
@@ -532,11 +1023,24 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// called with **no** heap lock held (the allocation paths call it
     /// after their first attempt has fully unwound).
     unsafe fn reclaim_empty_superblocks(&self) -> u64 {
+        if self.magazines_on() {
+            // Best effort: park the blocks of any uncontended magazine
+            // (lock-free, so no heap lock is held here) — they may be
+            // all that keeps otherwise-empty superblocks allocated.
+            for slot in &self.frontend {
+                if let Some(claim) = slot.try_claim() {
+                    self.park_claimed_slot(&claim);
+                }
+            }
+        }
         let layout = Layout::from_size_align(self.config.superblock_size, CHUNK_ALIGN)
             .expect("superblock layout");
         let mut reclaimed = 0u64;
         for heap in self.heaps.iter().take(self.config.heap_count + 1) {
             let _guard = heap.lock.lock();
+            if self.magazines_on() {
+                self.drain_all_remotes_locked(heap);
+            }
             loop {
                 let sb = heap.pop_empty();
                 if sb.is_null() {
@@ -622,7 +1126,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     );
                     return;
                 }
-                self.free_small(sb, p);
+                self.free_dispatch(sb, p);
             }
             Tag::Large => {
                 if !self.large_forget(header.value) {
@@ -693,8 +1197,16 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
 
     unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
         debug_assert!(size > 0, "allocate(0)");
+        let class_for_size = self.classes.index_for(size);
+        if let Some(class) = class_for_size {
+            if self.magazines_on() && class < MAG_CLASSES {
+                if let Some(p) = self.magazine_alloc(class) {
+                    return Some(p);
+                }
+            }
+        }
         charge_cost(Cost::MallocFast);
-        match self.classes.index_for(size) {
+        match class_for_size {
             Some(class) => self.alloc_small(class),
             None => {
                 let p = match large::alloc_large(&self.source, size) {
@@ -728,7 +1240,7 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
             Tag::Superblock => {
                 let sb = header.value as *mut Superblock;
                 debug_assert_eq!((*sb).magic, crate::superblock::SB_MAGIC, "bad free");
-                self.free_small(sb, ptr.as_ptr());
+                self.free_dispatch(sb, ptr.as_ptr());
             }
             Tag::Large => {
                 let size = large::free_large(&self.source, header.value)

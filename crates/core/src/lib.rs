@@ -45,6 +45,7 @@ mod harden;
 mod heap;
 mod hoard;
 mod list;
+mod magazine;
 mod superblock;
 
 pub mod debug;
@@ -52,6 +53,7 @@ pub mod debug;
 pub use config::{ConfigError, HoardConfig};
 pub use harden::{CorruptionHook, CorruptionKind, CorruptionLog, CorruptionReport, HardeningLevel};
 pub use hoard::{HoardAllocator, RecoverySnapshot};
+pub use magazine::{DEFAULT_MAGAZINE_CAPACITY, MAX_MAGAZINE_CAPACITY};
 pub use hoard_mem::{SizeClass, SizeClassTable, MAX_CLASSES};
 
 /// Maximum number of per-processor heaps supported (compile-time bound

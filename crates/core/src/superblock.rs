@@ -18,7 +18,7 @@
 
 use crate::FULLNESS_GROUPS;
 use hoard_mem::{write_header, HeaderWord, Tag, HEADER_SIZE};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
 
 /// Magic value marking a live superblock header (helps catch wild
 /// pointers in debug assertions).
@@ -58,6 +58,18 @@ pub(crate) struct Superblock {
     /// old and new owners' locks during migration; read lock-free by
     /// `free` to decide which lock to take.
     pub owner: AtomicUsize,
+    /// Deferred remote-free stack: a Treiber LIFO of block payloads
+    /// freed by non-owner threads, linked through each payload's first
+    /// word. Pushed lock-free ([`push_remote`](Self::push_remote)),
+    /// drained by the owner under its heap lock
+    /// ([`take_remote`](Self::take_remote)). Blocks parked here still
+    /// count as allocated (`in_use` undecremented), so the superblock
+    /// can never be reformatted or released while the stack is
+    /// non-empty.
+    pub remote_head: AtomicPtr<u8>,
+    /// Approximate length of the remote stack (relaxed counter; used
+    /// only as a drain-pressure heuristic, never for accounting).
+    pub remote_count: AtomicU32,
     /// Fullness group this superblock is currently linked into.
     pub group: u8,
     /// Eviction hysteresis latch: set when the superblock fills past the
@@ -102,6 +114,8 @@ impl Superblock {
             next: std::ptr::null_mut(),
             prev: std::ptr::null_mut(),
             owner: AtomicUsize::new(owner),
+            remote_head: AtomicPtr::new(std::ptr::null_mut()),
+            remote_count: AtomicU32::new(0),
             group: 0,
             armed: true,
         });
@@ -125,6 +139,12 @@ impl Superblock {
     ) {
         debug_assert_eq!((*sb).in_use, 0, "reformat requires an empty superblock");
         debug_assert_eq!((*sb).magic, SB_MAGIC);
+        // in_use == 0 implies no block is parked in the remote stack
+        // (parked blocks keep in_use raised), so the stack must be empty.
+        debug_assert!(
+            (*sb).remote_head.load(Ordering::Relaxed).is_null(),
+            "reformat with pending remote frees"
+        );
         let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE + extra;
         let capacity = (superblock_size - blocks_offset()) / stride;
         (*sb).class = class;
@@ -264,6 +284,64 @@ impl Superblock {
     /// See above; `sb` must be a live superblock.
     pub unsafe fn set_owner(sb: *mut Superblock, owner: usize) {
         (*sb).owner.store(owner, Ordering::Release);
+    }
+
+    /// Push a freed block onto the deferred remote-free stack without
+    /// taking any lock (Treiber push; the chain runs through each
+    /// payload's first word). The block stays accounted as allocated
+    /// until the owner drains it.
+    ///
+    /// # Safety
+    ///
+    /// `payload` must be a live allocated block of this superblock that
+    /// the caller relinquishes; no lock is required.
+    pub unsafe fn push_remote(sb: *mut Superblock, payload: *mut u8) {
+        let head = &(*sb).remote_head;
+        let mut cur = head.load(Ordering::Relaxed);
+        loop {
+            (payload as *mut *mut u8).write(cur);
+            // Release publishes the link write (and the freeing thread's
+            // poison/retag stores) to the draining owner.
+            match head.compare_exchange_weak(cur, payload, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        (*sb).remote_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Detach the whole deferred remote-free chain (or null). The caller
+    /// walks it via each payload's first word, freeing blocks under the
+    /// owner's lock, and finishes with [`note_drained`](Self::note_drained).
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the owning heap's lock (so drained blocks can be
+    /// pushed onto the guarded free list).
+    pub unsafe fn take_remote(sb: *mut Superblock) -> *mut u8 {
+        // Acquire pairs with the Release push: the chain's link words and
+        // the pushers' payload writes are visible.
+        (*sb).remote_head.swap(std::ptr::null_mut(), Ordering::Acquire)
+    }
+
+    /// Subtract `n` drained blocks from the pressure counter.
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock; `n` must not exceed the number of
+    /// blocks actually detached via [`take_remote`](Self::take_remote).
+    pub unsafe fn note_drained(sb: *mut Superblock, n: u32) {
+        (*sb).remote_count.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Whether the deferred remote-free stack is non-empty (lock-free
+    /// peek; a false negative only delays a drain by one round).
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock.
+    pub unsafe fn remote_pending(sb: *mut Superblock) -> bool {
+        !(*sb).remote_head.load(Ordering::Relaxed).is_null()
     }
 }
 
@@ -408,6 +486,74 @@ mod tests {
                 prev_group = g;
             }
             assert_eq!(prev_group, Superblock::full_group());
+        }
+    }
+
+    #[test]
+    fn remote_stack_push_take_is_lifo_and_complete() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 16, 1, 0);
+            let a = Superblock::alloc_block(sb);
+            let b = Superblock::alloc_block(sb);
+            let d = Superblock::alloc_block(sb);
+            assert!(!Superblock::remote_pending(sb));
+            Superblock::push_remote(sb, a);
+            Superblock::push_remote(sb, b);
+            Superblock::push_remote(sb, d);
+            assert!(Superblock::remote_pending(sb));
+            assert_eq!((*sb).remote_count.load(Ordering::Relaxed), 3);
+            // Drain: LIFO chain d -> b -> a through payload words.
+            let mut cur = Superblock::take_remote(sb);
+            let mut drained = Vec::new();
+            while !cur.is_null() {
+                let next = (cur as *mut *mut u8).read();
+                drained.push(cur);
+                cur = next;
+            }
+            assert_eq!(drained, vec![d, b, a]);
+            Superblock::note_drained(sb, drained.len() as u32);
+            assert_eq!((*sb).remote_count.load(Ordering::Relaxed), 0);
+            assert!(!Superblock::remote_pending(sb));
+            for p in drained {
+                Superblock::free_block(sb, p);
+            }
+            assert_eq!((*sb).in_use, 0);
+        }
+    }
+
+    #[test]
+    fn remote_stack_survives_concurrent_pushers() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 16, 1, 0);
+            let cap = (*sb).capacity as usize;
+            let n = cap.min(64);
+            let ptrs: Vec<usize> = (0..n)
+                .map(|_| Superblock::alloc_block(sb) as usize)
+                .collect();
+            let sb_addr = sb as usize;
+            std::thread::scope(|scope| {
+                for chunk in ptrs.chunks(n / 4 + 1) {
+                    let chunk = chunk.to_vec();
+                    scope.spawn(move || {
+                        for p in chunk {
+                            Superblock::push_remote(sb_addr as *mut Superblock, p as *mut u8);
+                        }
+                    });
+                }
+            });
+            assert_eq!((*sb).remote_count.load(Ordering::Relaxed), n as u32);
+            let mut cur = Superblock::take_remote(sb);
+            let mut seen = std::collections::HashSet::new();
+            while !cur.is_null() {
+                let next = (cur as *mut *mut u8).read();
+                assert!(seen.insert(cur as usize), "block pushed twice");
+                Superblock::free_block(sb, cur);
+                cur = next;
+            }
+            assert_eq!(seen.len(), n, "no pushes lost under contention");
+            assert_eq!((*sb).in_use, 0);
         }
     }
 

@@ -7,9 +7,13 @@ use hoard_mem::{FailingSource, MtAllocator, SystemSource};
 
 #[test]
 fn os_release_ablation_returns_drained_memory() {
-    let on = HoardAllocator::with_config(HoardConfig::new().with_release_empty_to_os(true))
-        .unwrap();
-    let off = HoardAllocator::new_default();
+    // Boxed: two allocator values at once would crowd the test thread's
+    // stack in debug builds (the struct embeds the heap array and the
+    // magazine front-end).
+    let on = Box::new(
+        HoardAllocator::with_config(HoardConfig::new().with_release_empty_to_os(true)).unwrap(),
+    );
+    let off = Box::new(HoardAllocator::new_default());
     for h in [&on, &off] {
         unsafe {
             let ptrs: Vec<_> = (0..2000).map(|_| h.allocate(128).unwrap()).collect();

@@ -39,17 +39,17 @@ fn lcg(state: &mut u64) -> u64 {
 /// Run one allocate/free storm under `plan`; returns
 /// `(successes, clean_failures)`.
 fn run_campaign(plan: FaultPlan, hardening: HardeningLevel) -> (u64, u64) {
+    run_campaign_cfg(plan, HoardConfig::new().with_hardening(hardening))
+}
+
+fn run_campaign_cfg(plan: FaultPlan, cfg: HoardConfig) -> (u64, u64) {
     let source = InjectingSource::new(SystemSource::new(), plan);
     let mut successes = 0u64;
     let mut failures = 0u64;
     {
         // `&source` is itself a ChunkSource, so the original stays
         // inspectable after the allocator (and its Drop) are gone.
-        let alloc = HoardAllocator::with_source(
-            HoardConfig::new().with_hardening(hardening),
-            &source,
-        )
-        .unwrap();
+        let alloc = HoardAllocator::with_source(cfg, &source).unwrap();
         let mut rng = 0x5EED_u64;
         let mut live: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
         for round in 0..OPS {
@@ -73,6 +73,10 @@ fn run_campaign(plan: FaultPlan, hardening: HardeningLevel) -> (u64, u64) {
         for (p, _) in live.drain(..) {
             unsafe { alloc.deallocate(p) };
         }
+        // With the magazine front-end on, the final frees sit parked in
+        // thread-local magazines; return them before the quiescence
+        // asserts. A no-op when the front-end is disabled.
+        alloc.flush_frontend();
         debug::check_invariants(&alloc)
             .unwrap_or_else(|e| panic!("invariants broken under {plan:?}: {e:?}"));
         assert_eq!(
@@ -140,6 +144,31 @@ fn transient_startup_pressure_recovers() {
     let (successes, failures) = run_campaign(plan, HardeningLevel::Basic);
     assert!(successes > 0, "post-recovery traffic must succeed");
     assert!(failures <= 10);
+}
+
+#[test]
+fn fault_storms_with_magazines_enabled() {
+    // The front-end adds two OOM-sensitive paths: a refill whose
+    // waterfall ends at a failing chunk source (must return 0, fall
+    // back cleanly, and leave the heap invariant-clean) and the
+    // reclaim pass that parks magazine contents to recover empties.
+    // Same contract as the seed campaign: clean Nones, no corruption,
+    // no leaks.
+    for plan in [
+        FaultPlan::EveryNth { n: 2 },
+        FaultPlan::EveryNth { n: 7 },
+        FaultPlan::Probability {
+            p_permille: 100,
+            seed: 0xBEEF,
+        },
+        FaultPlan::Burst { start: 20, len: 40 },
+    ] {
+        for level in [HardeningLevel::Off, HardeningLevel::Full] {
+            let cfg = HoardConfig::with_default_magazines().with_hardening(level);
+            let (successes, _) = run_campaign_cfg(plan, cfg);
+            assert!(successes > 0, "magazines + {plan:?} must serve requests");
+        }
+    }
 }
 
 #[test]

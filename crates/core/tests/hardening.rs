@@ -284,3 +284,115 @@ fn off_mode_keeps_the_papers_layout_and_paths() {
     assert_eq!(off.corruption_log().total(), 0);
     assert_eq!(full.corruption_log().total(), 0);
 }
+
+// ----- magazine front-end interactions -----
+//
+// With the front-end on, a small free parks in a thread-local magazine
+// instead of returning to its superblock. Every detection the locked
+// path makes must still fire: double frees against the retagged header,
+// canary smashes on the way *into* the magazine (quarantine, nothing
+// stashed), and poison overwrites on the way *out* (the poison sits
+// unguarded while parked).
+
+fn hardened_mag(level: HardeningLevel) -> HoardAllocator {
+    HoardAllocator::with_config(
+        HoardConfig::with_default_magazines().with_hardening(level),
+    )
+    .expect("hardened magazine config is valid")
+}
+
+#[test]
+fn magazine_clean_traffic_produces_no_reports() {
+    for level in [HardeningLevel::Basic, HardeningLevel::Full] {
+        let h = hardened_mag(level);
+        unsafe {
+            let mut live = Vec::new();
+            for i in 0..3000usize {
+                let size = 8 + (i * 37) % 6000;
+                let p = h.allocate(size).unwrap();
+                std::ptr::write_bytes(p.as_ptr(), 0x5A, size);
+                live.push(p);
+                if i % 3 == 0 {
+                    h.deallocate(live.swap_remove((i * 31) % live.len()));
+                }
+            }
+            for p in live {
+                h.deallocate(p);
+            }
+        }
+        assert_eq!(
+            h.corruption_log().total(),
+            0,
+            "false positive under {level:?} with magazines"
+        );
+        h.flush_frontend();
+        assert_eq!(h.stats().live_current, 0);
+        debug::check_invariants(&h).expect("consistent after magazine traffic");
+    }
+}
+
+#[test]
+fn double_free_of_a_magazine_parked_block_is_detected() {
+    let h = hardened_mag(HardeningLevel::Basic);
+    unsafe {
+        let p = h.allocate(24).unwrap();
+        h.deallocate(p); // parks in the magazine, header retagged Freed
+        h.deallocate(p); // second free must hit the retagged header
+    }
+    assert_eq!(h.corruption_log().total(), 1);
+    assert_eq!(last_kind(&h), Some(CorruptionKind::DoubleFree));
+    // The parked block comes back out exactly once and stays usable.
+    unsafe {
+        let q = h.allocate(24).unwrap();
+        std::ptr::write_bytes(q.as_ptr(), 0xEE, 24);
+        h.deallocate(q);
+    }
+    h.flush_frontend();
+    assert_eq!(h.stats().live_current, 0);
+    debug::check_invariants(&h).expect("consistent after magazine double free");
+}
+
+#[test]
+fn canary_smash_is_caught_on_the_frontend_free() {
+    let h = hardened_mag(HardeningLevel::Full);
+    unsafe {
+        let p = h.allocate(40).unwrap();
+        // Overflow one byte past the requested size into the canary.
+        std::ptr::write_bytes(p.as_ptr(), 0xAB, 41);
+        h.deallocate(p); // front-end free must quarantine, not stash
+    }
+    assert_eq!(last_kind(&h), Some(CorruptionKind::CanarySmashed));
+    assert_eq!(
+        h.stats().live_current,
+        40,
+        "quarantined block stays allocated (accounting untouched)"
+    );
+    // The magazine must NOT recirculate the smashed block.
+    unsafe {
+        let q = h.allocate(40).unwrap();
+        std::ptr::write_bytes(q.as_ptr(), 0x11, 40);
+        h.deallocate(q);
+    }
+    assert_eq!(h.corruption_log().total(), 1, "no further reports");
+    h.flush_frontend();
+    debug::check_invariants(&h).expect("consistent after quarantine");
+}
+
+#[test]
+fn poison_overwrite_while_parked_is_caught_on_reuse() {
+    let h = hardened_mag(HardeningLevel::Full);
+    unsafe {
+        let p = h.allocate(48).unwrap();
+        h.deallocate(p); // parked and poisoned in the magazine
+        // Use-after-free through the dangling pointer while parked.
+        *p.as_ptr().add(8) = 0x77;
+        // LIFO magazine: the next same-class alloc pops that block.
+        let q = h.allocate(48).unwrap();
+        assert_eq!(q.as_ptr(), p.as_ptr(), "magazine is LIFO");
+        h.deallocate(q);
+    }
+    assert_eq!(last_kind(&h), Some(CorruptionKind::PoisonOverwrite));
+    h.flush_frontend();
+    assert_eq!(h.stats().live_current, 0);
+    debug::check_invariants(&h).expect("consistent after poison report");
+}

@@ -39,13 +39,17 @@ fn config_strategy() -> impl Strategy<Value = HoardConfig> {
         prop_oneof![Just((1usize, 8usize)), Just((1, 4)), Just((1, 2))],
         0usize..=4,
         1usize..=8,
+        // Front-end off, small magazines, and the default capacity: the
+        // emptiness invariant must stay provable with blocks parked.
+        prop_oneof![Just(0usize), Just(4), Just(32)],
     )
-        .prop_map(|(s, (num, den), k, p)| {
+        .prop_map(|(s, (num, den), k, p, mag)| {
             HoardConfig::new()
                 .with_superblock_size(s)
                 .with_empty_fraction(num, den)
                 .with_slack(k)
                 .with_heap_count(p)
+                .with_magazine_capacity(mag)
         })
 }
 
@@ -108,10 +112,15 @@ fn run_trace(cfg: HoardConfig, ops: &[Op]) {
         assert!(v.errors.is_empty(), "{:?}", v.errors);
     }
 
-    // Drain and check final accounting.
+    // Drain and check final accounting. With the magazine front-end on,
+    // the last frees sit parked in thread-local magazines (still counted
+    // in u — they are allocated as far as the heaps are concerned);
+    // quiescence asserts require flushing them home first. A no-op when
+    // the front-end is disabled.
     for (p, ..) in live.drain(..) {
         unsafe { h.deallocate(p) };
     }
+    h.flush_frontend();
     let snap = h.stats();
     assert_eq!(snap.live_current, 0, "all blocks returned");
     let v = debug::validate(&h);
@@ -149,6 +158,57 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..200)
     ) {
         run_trace(cfg, &ops);
+    }
+
+    #[test]
+    fn trace_preserves_invariants_with_magazines(
+        ops in proptest::collection::vec(op_strategy(), 1..400)
+    ) {
+        run_trace(HoardConfig::with_default_magazines(), &ops);
+    }
+
+    #[test]
+    fn blowup_is_bounded_with_magazines(
+        ops in proptest::collection::vec(op_strategy(), 50..400)
+    ) {
+        // Same theorem as `blowup_is_bounded` plus the front-end's
+        // additive term: each magazine slot can park at most
+        // capacity blocks per size class (DESIGN.md §9's O(U + P)
+        // argument). One thread here, so one slot's worth is enough
+        // slack: 24 classes x 32 blocks x the largest magazine-served
+        // class (~553 B).
+        let cfg = HoardConfig::with_default_magazines();
+        let h = HoardAllocator::with_config(cfg).unwrap();
+        let mut live: Vec<(std::ptr::NonNull<u8>, usize)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc(size) if *size <= cfg.large_threshold() => {
+                    let p = unsafe { h.allocate(*size) }.unwrap();
+                    live.push((p, *size));
+                }
+                Op::Free(raw) if !live.is_empty() => {
+                    let (p, _) = live.swap_remove(raw % live.len());
+                    unsafe { h.deallocate(p) };
+                }
+                _ => {}
+            }
+        }
+        let snap = h.stats();
+        let p_heaps = (cfg.heap_count + 1) as u64;
+        let s = cfg.superblock_size as u64;
+        let magazine_slack = 24 * 32 * 560u64;
+        let bound =
+            3 * snap.live_peak + (cfg.slack_k as u64 + 2) * p_heaps * s + magazine_slack;
+        prop_assert!(
+            snap.held_peak <= bound,
+            "blowup with magazines: held_peak={} live_peak={} bound={}",
+            snap.held_peak, snap.live_peak, bound
+        );
+        for (p, _) in live {
+            unsafe { h.deallocate(p) };
+        }
+        h.flush_frontend();
+        prop_assert_eq!(h.stats().live_current, 0);
     }
 
     #[test]

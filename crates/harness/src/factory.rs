@@ -21,6 +21,11 @@ pub enum AllocatorKind {
     MtLike,
     /// Hoard with the given configuration.
     Hoard(HoardConfig),
+    /// Hoard with the thread-local magazine front-end enabled (the
+    /// given configuration is used as-is; construct it with
+    /// `HoardConfig::with_default_magazines()` or any nonzero
+    /// `magazine_capacity`).
+    HoardMagazine(HoardConfig),
 }
 
 impl AllocatorKind {
@@ -32,6 +37,7 @@ impl AllocatorKind {
             AllocatorKind::Ownership => "ownership",
             AllocatorKind::MtLike => "mtlike",
             AllocatorKind::Hoard(_) => "hoard",
+            AllocatorKind::HoardMagazine(_) => "hoard-mag",
         }
     }
 
@@ -43,13 +49,14 @@ impl AllocatorKind {
             AllocatorKind::PurePrivate => Box::new(PurePrivateAllocator::new()),
             AllocatorKind::Ownership => Box::new(OwnershipAllocator::new()),
             AllocatorKind::MtLike => Box::new(MtLikeAllocator::new()),
-            AllocatorKind::Hoard(cfg) => {
+            AllocatorKind::Hoard(cfg) | AllocatorKind::HoardMagazine(cfg) => {
                 Box::new(HoardAllocator::with_config(*cfg).expect("valid hoard config"))
             }
         }
     }
 
-    /// The default sweep, in the paper's presentation order.
+    /// The default sweep, in the paper's presentation order, plus the
+    /// magazine-front-end variant of Hoard as the final column.
     pub fn sweep() -> Vec<AllocatorKind> {
         vec![
             AllocatorKind::Serial,
@@ -57,6 +64,7 @@ impl AllocatorKind {
             AllocatorKind::PurePrivate,
             AllocatorKind::Ownership,
             AllocatorKind::Hoard(HoardConfig::new()),
+            AllocatorKind::HoardMagazine(HoardConfig::with_default_magazines()),
         ]
     }
 }
@@ -82,6 +90,16 @@ mod tests {
         let mut labels: Vec<_> = AllocatorKind::sweep().iter().map(|k| k.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), 5);
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn magazine_kind_actually_enables_the_frontend() {
+        match AllocatorKind::sweep().last().unwrap() {
+            AllocatorKind::HoardMagazine(cfg) => {
+                assert!(cfg.magazine_capacity > 0, "front-end must be on")
+            }
+            other => panic!("sweep must end with hoard-mag, got {}", other.label()),
+        }
     }
 }

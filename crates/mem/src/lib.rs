@@ -50,5 +50,5 @@ pub use chunk::{ChunkSource, FailingSource, LimitedSource, SourceStats, SystemSo
 pub use fault::{FaultPlan, InjectingSource};
 pub use header::{read_header, try_read_header, write_header, HeaderWord, Tag, HEADER_SIZE};
 pub use size_class::{SizeClass, SizeClassTable, MAX_CLASSES};
-pub use stats::{AllocSnapshot, AllocStats};
+pub use stats::{AllocSnapshot, AllocStats, MagazineStats};
 pub use util::{align_down, align_up, CACHE_LINE, MIN_ALIGN};

@@ -32,6 +32,13 @@ pub struct AllocStats {
     remote_frees: AtomicU64,
     transfers_to_global: AtomicU64,
     transfers_from_global: AtomicU64,
+    mag_alloc_hits: AtomicU64,
+    mag_free_hits: AtomicU64,
+    mag_refills: AtomicU64,
+    mag_flushes: AtomicU64,
+    mag_remote_pushes: AtomicU64,
+    mag_remote_drains: AtomicU64,
+    free_owner_retries: AtomicU64,
 }
 
 impl AllocStats {
@@ -45,6 +52,13 @@ impl AllocStats {
             remote_frees: AtomicU64::new(0),
             transfers_to_global: AtomicU64::new(0),
             transfers_from_global: AtomicU64::new(0),
+            mag_alloc_hits: AtomicU64::new(0),
+            mag_free_hits: AtomicU64::new(0),
+            mag_refills: AtomicU64::new(0),
+            mag_flushes: AtomicU64::new(0),
+            mag_remote_pushes: AtomicU64::new(0),
+            mag_remote_drains: AtomicU64::new(0),
+            free_owner_retries: AtomicU64::new(0),
         }
     }
 
@@ -77,6 +91,43 @@ impl AllocStats {
         self.transfers_from_global.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record an allocation served straight from a thread-local magazine.
+    pub fn on_magazine_alloc_hit(&self) {
+        self.mag_alloc_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a free absorbed by a thread-local magazine.
+    pub fn on_magazine_free_hit(&self) {
+        self.mag_free_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a magazine refill (one locked batch pull from a heap).
+    pub fn on_magazine_refill(&self) {
+        self.mag_refills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a magazine flush (one locked batch return to a heap).
+    pub fn on_magazine_flush(&self) {
+        self.mag_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a push onto a superblock's deferred remote-free stack.
+    pub fn on_remote_push(&self) {
+        self.mag_remote_pushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the owner draining a deferred remote-free stack
+    /// (one drain event, regardless of how many blocks it recovered).
+    pub fn on_remote_drain(&self) {
+        self.mag_remote_drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a `free` that re-read the block's owner and retried because
+    /// the superblock migrated between the read and the lock acquisition.
+    pub fn on_free_owner_retry(&self) {
+        self.free_owner_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Bytes currently live (in use by the program).
     pub fn live_now(&self) -> u64 {
         self.live.load(Ordering::Relaxed)
@@ -94,6 +145,15 @@ impl AllocStats {
             transfers_from_global: self.transfers_from_global.load(Ordering::Relaxed),
             held_current: 0,
             held_peak: 0,
+            magazines: MagazineStats {
+                alloc_hits: self.mag_alloc_hits.load(Ordering::Relaxed),
+                free_hits: self.mag_free_hits.load(Ordering::Relaxed),
+                refills: self.mag_refills.load(Ordering::Relaxed),
+                flushes: self.mag_flushes.load(Ordering::Relaxed),
+                remote_pushes: self.mag_remote_pushes.load(Ordering::Relaxed),
+                remote_drains: self.mag_remote_drains.load(Ordering::Relaxed),
+                free_owner_retries: self.free_owner_retries.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -120,6 +180,30 @@ pub struct AllocSnapshot {
     pub held_current: u64,
     /// High-water mark of held bytes (`max A`).
     pub held_peak: u64,
+    /// Thread-local front-end counters (all zero unless the allocator
+    /// runs with `magazine_capacity > 0`).
+    #[serde(default)]
+    pub magazines: MagazineStats,
+}
+
+/// Counters for the thread-local magazine front-end and the deferred
+/// remote-free protocol. All zero when the front-end is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MagazineStats {
+    /// Allocations served from a magazine without touching any lock.
+    pub alloc_hits: u64,
+    /// Frees absorbed by a magazine without touching any lock.
+    pub free_hits: u64,
+    /// Locked batch refills (magazine empty → pull from owning heap).
+    pub refills: u64,
+    /// Locked batch flushes (magazine full → return to owning heap).
+    pub flushes: u64,
+    /// Foreign frees deferred via a superblock's atomic remote stack.
+    pub remote_pushes: u64,
+    /// Drain events where an owner recovered deferred remote frees.
+    pub remote_drains: u64,
+    /// `free_small` owner-migration races detected and retried.
+    pub free_owner_retries: u64,
 }
 
 impl AllocSnapshot {

@@ -47,9 +47,18 @@ pub enum Cost {
     ChannelTransfer,
     /// Barrier synchronization overhead per participant.
     Barrier,
+    /// A `malloc`/`free` served entirely by the thread-local magazine
+    /// (a push/pop on a warm, thread-private array: no lock, no shared
+    /// cache line). This is the cost the front-end substitutes for a
+    /// lock acquisition on the common path.
+    MagazineOp,
+    /// Pushing a block onto a superblock's deferred remote-free stack
+    /// (one CAS on a line shared with the owner — cheaper than a lock
+    /// handoff and, crucially, not serializing).
+    RemoteFreePush,
 }
 
-const N_COSTS: usize = 12;
+const N_COSTS: usize = 14;
 
 fn index(cost: Cost) -> usize {
     match cost {
@@ -65,6 +74,8 @@ fn index(cost: Cost) -> usize {
         Cost::SuperblockTransfer => 9,
         Cost::ChannelTransfer => 10,
         Cost::Barrier => 11,
+        Cost::MagazineOp => 12,
+        Cost::RemoteFreePush => 13,
     }
 }
 
@@ -83,6 +94,10 @@ pub struct CostModel {
     pub superblock_transfer: u64,
     pub channel_transfer: u64,
     pub barrier: u64,
+    #[serde(default)]
+    pub magazine_op: u64,
+    #[serde(default)]
+    pub remote_free_push: u64,
 }
 
 impl Default for CostModel {
@@ -100,6 +115,15 @@ impl Default for CostModel {
             superblock_transfer: 300,
             channel_transfer: 250,
             barrier: 400,
+            // A magazine hit is a bounds check plus an array push/pop on
+            // thread-private memory: a handful of instructions, cheaper
+            // than even an uncontended lock acquire+release.
+            magazine_op: 6,
+            // A deferred remote free is one CAS on a cache line the
+            // owner also touches: comparable to a remote transfer,
+            // strictly cheaper than a contended lock handoff — and it
+            // does not serialize the owner.
+            remote_free_push: 60,
         }
     }
 }
@@ -140,6 +164,8 @@ impl CostModel {
             superblock_transfer: unit,
             channel_transfer: unit,
             barrier: unit,
+            magazine_op: unit,
+            remote_free_push: unit,
         }
     }
 
@@ -158,6 +184,8 @@ impl CostModel {
             Cost::SuperblockTransfer => self.superblock_transfer,
             Cost::ChannelTransfer => self.channel_transfer,
             Cost::Barrier => self.barrier,
+            Cost::MagazineOp => self.magazine_op,
+            Cost::RemoteFreePush => self.remote_free_push,
         }
     }
 
@@ -187,6 +215,8 @@ impl CostModel {
             superblock_transfer: get(Cost::SuperblockTransfer),
             channel_transfer: get(Cost::ChannelTransfer),
             barrier: get(Cost::Barrier),
+            magazine_op: get(Cost::MagazineOp),
+            remote_free_push: get(Cost::RemoteFreePush),
         }
     }
 }
@@ -204,6 +234,8 @@ const ALL: [Cost; N_COSTS] = [
     Cost::SuperblockTransfer,
     Cost::ChannelTransfer,
     Cost::Barrier,
+    Cost::MagazineOp,
+    Cost::RemoteFreePush,
 ];
 
 static GLOBAL: [AtomicU64; N_COSTS] = {
@@ -220,6 +252,8 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         superblock_transfer: 300,
         channel_transfer: 250,
         barrier: 400,
+        magazine_op: 6,
+        remote_free_push: 60,
     };
     [
         AtomicU64::new(D.malloc_fast),
@@ -234,6 +268,8 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         AtomicU64::new(D.superblock_transfer),
         AtomicU64::new(D.channel_transfer),
         AtomicU64::new(D.barrier),
+        AtomicU64::new(D.magazine_op),
+        AtomicU64::new(D.remote_free_push),
     ]
 };
 

@@ -13,6 +13,8 @@
 //! * [`false_sharing`] — `active-false` and `passive-false`;
 //! * [`consume`] — the producer–consumer blowup demonstration of the
 //!   paper's Sections 2–3;
+//! * [`prod_cons`] — sustained producer–consumer throughput (the stress
+//!   test for foreign frees and the deferred remote-free protocol);
 //! * [`barnes_hut`] — an n-body Barnes–Hut simulation (little allocator
 //!   pressure; every allocator should scale);
 //! * [`bem_like`] — a phase-structured solver allocation pattern standing
@@ -32,6 +34,7 @@ pub mod bem_like;
 pub mod consume;
 pub mod false_sharing;
 pub mod larson;
+pub mod prod_cons;
 pub mod shbench;
 pub mod threadtest;
 
@@ -143,6 +146,13 @@ pub fn catalog() -> Vec<WorkloadInfo> {
                           (the paper's blowup analysis)",
             parameters: format!("{:?}", consume::Params::default()),
         },
+        WorkloadInfo {
+            name: "prod-cons",
+            description: "sustained producer-consumer throughput: producers \
+                          allocate flat-out, consumers free foreign blocks \
+                          (stresses the ownership/remote-free path)",
+            parameters: format!("{:?}", prod_cons::Params::default()),
+        },
     ]
 }
 
@@ -153,11 +163,11 @@ mod tests {
     #[test]
     fn catalog_names_are_unique_and_described() {
         let cat = catalog();
-        assert_eq!(cat.len(), 8);
+        assert_eq!(cat.len(), 9);
         let mut names: Vec<_> = cat.iter().map(|w| w.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8, "duplicate workload names");
+        assert_eq!(names.len(), 9, "duplicate workload names");
         for w in &cat {
             assert!(!w.description.is_empty());
             assert!(!w.parameters.is_empty());
