@@ -38,14 +38,15 @@ use hoard_mem::{
     large, read_header, try_read_header, write_header, AllocSnapshot, AllocStats, ChunkSource,
     HeaderWord, MtAllocator, SizeClassTable, SystemSource, Tag,
 };
-use hoard_sim::{charge_cost, current_proc, Cost};
+use hoard_sim::{charge_cost, current_proc, now, Cost, VLockGuard};
+use hoard_trace::{EventKind, MetricsRegistry, MetricsSnapshot, TraceSink};
 use std::alloc::Layout;
 use std::ptr::NonNull;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::Acquire, Ordering::Release};
 // Every counter update happens under the owning heap's lock, so relaxed
 // ordering suffices throughout.
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Alignment requested for superblock chunks.
 const CHUNK_ALIGN: usize = 4096;
@@ -88,6 +89,45 @@ pub struct RecoverySnapshot {
     pub rescued_allocations: u64,
 }
 
+/// A superblock's occupancy as a percentage of its block capacity —
+/// the telemetry coordinate for transfer events ("how full were
+/// superblocks when they migrated").
+///
+/// # Safety
+///
+/// `sb` must point to a live superblock; the caller holds its owning
+/// heap's lock.
+unsafe fn fullness_pct(sb: *mut Superblock) -> u64 {
+    ((*sb).in_use as u64 * 100) / ((*sb).capacity.max(1) as u64)
+}
+
+/// A held heap lock plus the telemetry context captured at
+/// acquisition. Dropping it reports the release (hold duration in
+/// virtual units) *before* the lock itself is released, so hold times
+/// never under-report. Constructed by `HoardAllocator::lock_heap`.
+struct HeapLockToken<'a> {
+    tracer: Option<&'a TraceSink>,
+    metrics: Option<&'a MetricsRegistry>,
+    heap_index: u32,
+    acquired_at: u64,
+    _guard: VLockGuard<'a>,
+}
+
+impl Drop for HeapLockToken<'_> {
+    fn drop(&mut self) {
+        if self.tracer.is_none() && self.metrics.is_none() {
+            return;
+        }
+        let held = now().saturating_sub(self.acquired_at);
+        if let Some(m) = self.metrics {
+            m.on_unlock(self.heap_index as usize, held);
+        }
+        if let Some(t) = self.tracer {
+            t.emit(EventKind::LockRelease, self.heap_index, held);
+        }
+    }
+}
+
 /// The Hoard allocator. See the [crate docs](crate) for the algorithm.
 ///
 /// Generic over the [`ChunkSource`] "operating system"; defaults to
@@ -114,6 +154,18 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     /// detached free blocks (slot = `proc % MAG_SLOTS`). Inert when
     /// `config.magazine_capacity == 0`.
     frontend: [MagazineSlot; MAG_SLOTS],
+    /// Attachable event tracer (null = tracing off). Holds a raw
+    /// `Arc<TraceSink>` installed by [`attach_tracer`]; released on
+    /// drop or replacement. When null, every hot path pays exactly one
+    /// atomic load and a branch — and zero *virtual* time, so traces of
+    /// an untraced run are bit-identical to a build without telemetry
+    /// (enforced by `tests/telemetry.rs`).
+    ///
+    /// [`attach_tracer`]: HoardAllocator::attach_tracer
+    tracer: AtomicPtr<TraceSink>,
+    /// Attachable metrics registry (null = metering off); same
+    /// lifecycle and gating contract as `tracer`.
+    metrics: AtomicPtr<MetricsRegistry>,
 }
 
 impl HoardAllocator<SystemSource> {
@@ -153,6 +205,8 @@ impl HoardAllocator<SystemSource> {
             large_live: Mutex::new(Vec::new()),
             recovery: RecoveryStats::new(),
             frontend: [const { MagazineSlot::new() }; MAG_SLOTS],
+            tracer: AtomicPtr::new(std::ptr::null_mut()),
+            metrics: AtomicPtr::new(std::ptr::null_mut()),
         }
     }
 }
@@ -176,6 +230,8 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             large_live: Mutex::new(Vec::new()),
             recovery: RecoveryStats::new(),
             frontend: [const { MagazineSlot::new() }; MAG_SLOTS],
+            tracer: AtomicPtr::new(std::ptr::null_mut()),
+            metrics: AtomicPtr::new(std::ptr::null_mut()),
         })
     }
 
@@ -223,6 +279,130 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         }
     }
 
+    // ----- telemetry (attachable; off and virtually free by default) -----
+
+    /// Install an event tracer; subsequent operations record typed
+    /// events stamped with the emitting thread's virtual clock (each
+    /// charged [`Cost::TraceEvent`]). Replaces (and releases) any
+    /// previously attached sink — attach at a quiescent point, not
+    /// while other threads are inside the allocator.
+    pub fn attach_tracer(&self, sink: Arc<TraceSink>) {
+        let old = self.tracer.swap(Arc::into_raw(sink).cast_mut(), Release);
+        if !old.is_null() {
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+    }
+
+    /// Install a metrics registry (see [`new_metrics_registry`] for one
+    /// matched to this allocator's geometry). Same lifecycle contract
+    /// as [`attach_tracer`].
+    ///
+    /// [`new_metrics_registry`]: HoardAllocator::new_metrics_registry
+    /// [`attach_tracer`]: HoardAllocator::attach_tracer
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        let old = self.metrics.swap(Arc::into_raw(registry).cast_mut(), Release);
+        if !old.is_null() {
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+    }
+
+    /// A [`MetricsRegistry`] sized to this allocator: `heap_count + 1`
+    /// heaps (index 0 = global) × the size-class table's length.
+    pub fn new_metrics_registry(&self) -> MetricsRegistry {
+        MetricsRegistry::new(self.config.heap_count + 1, self.classes.len())
+    }
+
+    /// Snapshot the attached metrics registry, first refreshing its
+    /// hardening gauges from the corruption log and OOM-recovery
+    /// counters. `None` when no registry is attached.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let m = self.metrics_ref()?;
+        let rec = self.recovery_stats();
+        m.set_hardening(
+            self.log.total(),
+            self.log.quarantined(),
+            rec.chunk_reclaims,
+            rec.rescued_allocations,
+        );
+        Some(m.snapshot())
+    }
+
+    #[inline]
+    fn tracer_ref(&self) -> Option<&TraceSink> {
+        let p = self.tracer.load(Acquire);
+        // Safety: `p` came from `Arc::into_raw` and is only released by
+        // `Drop` (`&mut self`) or `attach_tracer` (documented not to
+        // race operations), so it outlives this `&self` borrow.
+        if p.is_null() {
+            None
+        } else {
+            Some(unsafe { &*p })
+        }
+    }
+
+    #[inline]
+    fn metrics_ref(&self) -> Option<&MetricsRegistry> {
+        let p = self.metrics.load(Acquire);
+        // Safety: as for `tracer_ref`.
+        if p.is_null() {
+            None
+        } else {
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Record one trace event when a tracer is attached; a single
+    /// atomic load + branch (and no virtual time) when not.
+    #[inline]
+    fn emit(&self, kind: EventKind, arg0: u32, arg1: u64) {
+        if let Some(t) = self.tracer_ref() {
+            t.emit(kind, arg0, arg1);
+        }
+    }
+
+    /// Lock `heap` (index `hi`), reporting the acquisition — and, when
+    /// the returned token drops, the release and hold time — to the
+    /// attached tracer/registry. With neither attached this is exactly
+    /// `heap.lock.lock()` plus two atomic loads.
+    #[inline]
+    fn lock_heap<'a>(&'a self, heap: &'a Heap, hi: usize) -> HeapLockToken<'a> {
+        let guard = heap.lock.lock();
+        let tracer = self.tracer_ref();
+        let metrics = self.metrics_ref();
+        if tracer.is_none() && metrics.is_none() {
+            return HeapLockToken {
+                tracer: None,
+                metrics: None,
+                heap_index: hi as u32,
+                acquired_at: 0,
+                _guard: guard,
+            };
+        }
+        let waited = guard.waited();
+        if let Some(m) = metrics {
+            m.on_lock(hi, waited);
+        }
+        if let Some(t) = tracer {
+            t.emit(EventKind::LockAcquire, hi as u32, waited);
+        }
+        // Stamped after the acquire event so the hold slice excludes
+        // the cost of recording it.
+        HeapLockToken {
+            tracer,
+            metrics,
+            heap_index: hi as u32,
+            acquired_at: now(),
+            _guard: guard,
+        }
+    }
+
+    /// Report a corruption event to the log and, when attached, the
+    /// tracer (`arg0` = [`CorruptionKind`] ordinal).
+    fn report_corruption(&self, kind: CorruptionKind, addr: usize, note: &'static str) {
+        self.log.report(kind, addr, note);
+        self.emit(EventKind::Corruption, kind as u32, 0);
+    }
+
     /// Bytes reserved past each block payload (the `Full`-mode canary).
     const fn block_extra(&self) -> usize {
         if self.config.hardening.poisons() {
@@ -268,24 +448,32 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         let slot = &self.frontend[current_proc() % MAG_SLOTS];
         let claim = slot.try_claim()?;
         let mag = claim.magazine(class);
-        let p = match mag.pop() {
+        let (p, hit) = match mag.pop() {
             Some(p) => {
                 charge_cost(Cost::MagazineOp);
                 self.stats.on_magazine_alloc_hit();
-                p
+                (p, true)
             }
             None => {
                 charge_cost(Cost::MallocFast);
-                if self.refill_magazine(class, mag) == 0 {
+                let got = self.refill_magazine(class, mag);
+                if got == 0 {
                     return None;
                 }
                 self.stats.on_magazine_refill();
-                mag.pop()?
+                self.emit(EventKind::MagazineRefill, class as u32, got as u64);
+                (mag.pop()?, false)
             }
         };
         let block_size = self.classes.class(class).block_size;
         self.prepare_block_for_handout(p, block_size);
         self.stats.on_alloc(block_size as u64);
+        self.emit(EventKind::AllocMagazine, class as u32, block_size as u64);
+        if let Some(m) = self.metrics_ref() {
+            // A refill-then-pop took the heap lock, so only a pop hit
+            // counts as a lock bypass (mirrors on_magazine_alloc_hit).
+            m.on_alloc(self.heap_index_for_current_thread(), class, hit);
+        }
         Some(NonNull::new_unchecked(p))
     }
 
@@ -298,7 +486,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 // Stashed by a front-end free: its poison sat unguarded
                 // in the magazine; check before reuse.
                 if self.config.hardening.poisons() && !harden::poison_intact(p, block_size) {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::PoisonOverwrite,
                         p as usize,
                         "freed block modified before reuse",
@@ -321,7 +509,11 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         let s = self.config.superblock_size;
         let hi = self.heap_index_for_current_thread();
         let heap = &self.heaps[hi];
-        let _guard = heap.lock.lock();
+        let _guard = self.lock_heap(heap, hi);
+        if let Some(m) = self.metrics_ref() {
+            // A refill only runs on a dry magazine; record the boundary.
+            m.on_magazine_level(0);
+        }
 
         // Full superblocks are exactly where deferred remote frees pool
         // up (the consumer's heap looks exhausted while its blocks sit
@@ -387,7 +579,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 let reused = self.config.hardening.poisons() && !(*sb).free_head.is_null();
                 let p = Superblock::alloc_block(sb);
                 if reused && !harden::poison_intact(p, block_size) {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::PoisonOverwrite,
                         p as usize,
                         "freed block modified before reuse",
@@ -426,9 +618,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             let Some(claim) = slot.try_claim() else {
                 return false;
             };
-            let mag = claim.magazine((*sb).class as usize);
+            let class = (*sb).class as usize;
+            let mag = claim.magazine(class);
             if mag.len() >= self.config.magazine_capacity {
-                self.flush_magazine(mag);
+                self.flush_magazine(class, mag);
                 self.stats.on_magazine_flush();
             }
             if !self.harden_on_stash(sb, payload, block_size) {
@@ -438,6 +631,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             charge_cost(Cost::MagazineOp);
             self.stats.on_magazine_free_hit();
             self.stats.on_free(block_size as u64, false);
+            self.emit(EventKind::FreeMagazine, class as u32, 0);
+            if let Some(m) = self.metrics_ref() {
+                m.on_free(owner, class, true);
+            }
             true
         } else if owner != 0 {
             // Foreign per-processor heap: defer instead of bouncing its
@@ -453,6 +650,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             charge_cost(Cost::RemoteFreePush);
             self.stats.on_remote_push();
             self.stats.on_free(block_size as u64, true);
+            self.emit(EventKind::RemoteFreePush, (*sb).class, owner as u64);
+            if let Some(m) = self.metrics_ref() {
+                m.on_remote_free(owner, (*sb).class as usize);
+            }
             true
         } else {
             // Global-owned: the locked path may also release empties.
@@ -467,7 +668,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// stash it).
     unsafe fn harden_on_stash(&self, sb: *mut Superblock, payload: *mut u8, block_size: u32) -> bool {
         if self.config.hardening.poisons() && !harden::canary_intact(payload, block_size) {
-            self.log.report(
+            self.report_corruption(
                 CorruptionKind::CanarySmashed,
                 payload as usize,
                 "block quarantined",
@@ -491,15 +692,34 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// superblock migrated away since they were stashed go through the
     /// lock-free deferred stacks (never a second heap lock — the lock
     /// order stays per-processor → global).
-    unsafe fn flush_magazine(&self, mag: &mut Magazine) {
+    unsafe fn flush_magazine(&self, class: usize, mag: &mut Magazine) {
+        if let Some(m) = self.metrics_ref() {
+            // Flushes only run on a full magazine; record the boundary.
+            m.on_magazine_level(mag.len() as u64);
+        }
         let mut batch = [std::ptr::null_mut(); crate::magazine::MAX_MAGAZINE_CAPACITY];
         let n = mag.take_oldest((self.config.magazine_capacity / 2).max(1), &mut batch);
         let hi = self.heap_index_for_current_thread();
         let heap = &self.heaps[hi];
-        let _guard = heap.lock.lock();
+        let _guard = self.lock_heap(heap, hi);
+        self.emit(EventKind::MagazineFlush, class as u32, n as u64);
         let mut trigger = false;
         for &p in &batch[..n] {
-            let sb = read_header(p).value as *mut Superblock;
+            let h = read_header(p);
+            let sb = h.value as *mut Superblock;
+            // The batch mixes stashed blocks (already `Freed`-tagged and
+            // poisoned by `harden_on_stash`) with refill-loaded ones
+            // (still `Superblock`-tagged, never poisoned). Both are
+            // about to rejoin a free list, whose hardening invariant is
+            // `Freed` + intact poison; give the refill-loaded ones the
+            // stash transforms now, exactly as `park_claimed_slot` does,
+            // or the next reuse check misreads them as corruption.
+            if self.config.hardening.detects() && h.tag != Tag::Freed {
+                write_header(p, HeaderWord::new(Tag::Freed, sb as usize));
+                if self.config.hardening.poisons() {
+                    harden::poison_payload(p, (*sb).block_size);
+                }
+            }
             if Superblock::owner(sb) == hi {
                 let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
                 Superblock::free_block(sb, p);
@@ -512,6 +732,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 trigger |= ((*sb).armed && crossed) || too_many_empties;
                 if crossed {
                     (*sb).armed = false;
+                    self.emit(EventKind::EmptinessCross, hi as u32, 0);
                 }
             } else {
                 Superblock::push_remote(sb, p);
@@ -553,12 +774,14 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         heap.u.fetch_sub(block_size * n as u64, Relaxed);
         heap.relink(sb);
         self.stats.on_remote_drain();
+        self.emit(EventKind::RemoteFreeDrain, (*sb).class, n as u64);
         let crossed = !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
         let too_many_empties =
             (*sb).in_use == 0 && heap.empty_count.load(Relaxed) > self.config.slack_k;
         let trigger = ((*sb).armed && crossed) || too_many_empties;
         if crossed {
             (*sb).armed = false;
+            self.emit(EventKind::EmptinessCross, Superblock::owner(sb) as u32, 0);
         }
         trigger
     }
@@ -664,7 +887,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             // superblocks *to* the global heap, which is settled last.
             for hi in (0..=self.config.heap_count).rev() {
                 let heap = &self.heaps[hi];
-                let _guard = heap.lock.lock();
+                let _guard = self.lock_heap(heap, hi);
                 self.drain_all_remotes_locked(heap);
                 if hi == 0 {
                     self.maybe_release_global_empties(heap);
@@ -698,7 +921,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         let s = self.config.superblock_size;
         let hi = self.heap_index_for_current_thread();
         let heap = &self.heaps[hi];
-        let _guard = heap.lock.lock();
+        let _guard = self.lock_heap(heap, hi);
 
         // 1. Fullest superblock of this class with a free block.
         let mut sb = heap.find_with_free(class);
@@ -766,7 +989,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             // Something wrote through a dangling pointer while the
             // block sat freed. The block itself is fine to hand out;
             // report and continue.
-            self.log.report(
+            self.report_corruption(
                 CorruptionKind::PoisonOverwrite,
                 payload as usize,
                 "freed block modified before reuse",
@@ -783,6 +1006,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             (*sb).armed = true;
         }
         self.stats.on_alloc(block_size as u64);
+        self.emit(EventKind::Alloc, class as u32, block_size as u64);
+        if let Some(m) = self.metrics_ref() {
+            m.on_alloc(hi, class, false);
+        }
         Some(NonNull::new_unchecked(payload))
     }
 
@@ -797,7 +1024,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         block_size: u32,
     ) -> *mut Superblock {
         let global = &self.heaps[0];
-        let _g0 = global.lock.lock();
+        let _g0 = self.lock_heap(global, 0);
 
         let sb = {
             let found = global.find_with_free(class);
@@ -833,6 +1060,11 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         heap.link(sb);
         self.stats.on_transfer_from_global();
         charge_cost(Cost::SuperblockTransfer);
+        let pct = fullness_pct(sb);
+        self.emit(EventKind::TransferFromGlobal, hi as u32, pct);
+        if let Some(m) = self.metrics_ref() {
+            m.on_transfer_from_global(hi, pct);
+        }
         sb
     }
 
@@ -855,7 +1087,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         loop {
             let owner = Superblock::owner(sb);
             let heap = &self.heaps[owner];
-            let guard = heap.lock.lock();
+            let guard = self.lock_heap(heap, owner);
             if Superblock::owner(sb) != owner {
                 drop(guard);
                 // Superblock migrated between the owner read and the
@@ -882,7 +1114,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 // unchanged, so the heap invariants stay intact) and
                 // keep going.
                 drop(guard);
-                self.log.report(
+                self.report_corruption(
                     CorruptionKind::CanarySmashed,
                     payload as usize,
                     "block quarantined",
@@ -906,6 +1138,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
 
             let remote = owner != self.heap_index_for_current_thread();
             self.stats.on_free(block_size, owner == 0 || remote);
+            self.emit(EventKind::Free, (*sb).class, owner as u64);
+            if let Some(m) = self.metrics_ref() {
+                m.on_free(owner, (*sb).class as usize, false);
+            }
 
             if owner == 0 {
                 self.maybe_release_global_empties(heap);
@@ -932,6 +1168,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 let trigger = ((*sb).armed && crossed) || too_many_empties || drain_trigger;
                 if crossed {
                     (*sb).armed = false;
+                    self.emit(EventKind::EmptinessCross, owner as u32, 0);
                 }
                 if trigger {
                     self.restore_invariant(heap, owner);
@@ -951,7 +1188,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// invariant at quiescence (every superblock that drains produces a
     /// triggering event) without bursts of migration in sparse steady
     /// states. Caller holds heap `hi`'s lock.
-    unsafe fn restore_invariant(&self, heap: &Heap, _hi: usize) {
+    unsafe fn restore_invariant(&self, heap: &Heap, hi: usize) {
         let mut moved_partial = false;
         loop {
             let u = heap.u.load(Relaxed);
@@ -986,13 +1223,18 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             }
 
             let global = &self.heaps[0];
-            let _g0 = global.lock.lock();
+            let _g0 = self.lock_heap(global, 0);
             Superblock::set_owner(victim, 0);
             global.a.fetch_add(Superblock::usable_bytes(victim), Relaxed);
             global.u.fetch_add(used, Relaxed);
             global.place(victim);
             self.stats.on_transfer_to_global();
             charge_cost(Cost::SuperblockTransfer);
+            let pct = fullness_pct(victim);
+            self.emit(EventKind::TransferToGlobal, hi as u32, pct);
+            if let Some(m) = self.metrics_ref() {
+                m.on_transfer_to_global(hi, pct);
+            }
         }
     }
 
@@ -1036,11 +1278,17 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         let layout = Layout::from_size_align(self.config.superblock_size, CHUNK_ALIGN)
             .expect("superblock layout");
         let mut reclaimed = 0u64;
-        for heap in self.heaps.iter().take(self.config.heap_count + 1) {
-            let _guard = heap.lock.lock();
+        for (hi, heap) in self
+            .heaps
+            .iter()
+            .take(self.config.heap_count + 1)
+            .enumerate()
+        {
+            let _guard = self.lock_heap(heap, hi);
             if self.magazines_on() {
                 self.drain_all_remotes_locked(heap);
             }
+            let mut here = 0u64;
             loop {
                 let sb = heap.pop_empty();
                 if sb.is_null() {
@@ -1049,8 +1297,12 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 heap.a.fetch_sub(Superblock::usable_bytes(sb), Relaxed);
                 self.source
                     .free_chunk(NonNull::new_unchecked(sb as *mut u8), layout);
-                reclaimed += 1;
+                here += 1;
             }
+            if here > 0 {
+                self.emit(EventKind::OomReclaim, hi as u32, here);
+            }
+            reclaimed += here;
         }
         if reclaimed > 0 {
             self.recovery.on_reclaim(reclaimed);
@@ -1072,7 +1324,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     unsafe fn deallocate_hardened(&self, ptr: NonNull<u8>) {
         let p = ptr.as_ptr();
         if !(p as usize).is_multiple_of(hoard_mem::MIN_ALIGN) {
-            self.log.report(
+            self.report_corruption(
                 CorruptionKind::MisalignedPointer,
                 p as usize,
                 "free of a misaligned pointer",
@@ -1080,7 +1332,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             return;
         }
         let Some(header) = try_read_header(p) else {
-            self.log.report(
+            self.report_corruption(
                 CorruptionKind::ForeignPointer,
                 p as usize,
                 "header tag is not one this allocator writes",
@@ -1089,13 +1341,12 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         };
         match header.tag {
             Tag::Freed => {
-                self.log
-                    .report(CorruptionKind::DoubleFree, p as usize, "small block");
+                self.report_corruption(CorruptionKind::DoubleFree, p as usize, "small block");
             }
             Tag::Superblock => {
                 let sb = header.value as *mut Superblock;
                 if sb.is_null() || !(sb as usize).is_multiple_of(CHUNK_ALIGN) {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::ForeignPointer,
                         p as usize,
                         "header names a misaligned superblock",
@@ -1103,7 +1354,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     return;
                 }
                 if (*sb).magic != crate::superblock::SB_MAGIC {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::BadSuperblockMagic,
                         p as usize,
                         "free of a block of a dead or forged superblock",
@@ -1111,7 +1362,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     return;
                 }
                 if Superblock::owner(sb) > MAX_HEAPS {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::ForeignPointer,
                         p as usize,
                         "superblock owner out of range",
@@ -1119,7 +1370,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     return;
                 }
                 if !Superblock::contains(sb, p) {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::OutOfRangePointer,
                         p as usize,
                         "pointer is not on a block boundary of its superblock",
@@ -1130,18 +1381,20 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             }
             Tag::Large => {
                 if !self.large_forget(header.value) {
-                    self.log
-                        .report(CorruptionKind::DoubleFree, p as usize, "large object");
+                    self.report_corruption(CorruptionKind::DoubleFree, p as usize, "large object");
                     return;
                 }
                 match large::free_large(&self.source, header.value) {
-                    Some(size) => self.stats.on_free(size as u64, false),
+                    Some(size) => {
+                        self.stats.on_free(size as u64, false);
+                        self.emit(EventKind::FreeLarge, 0, size as u64);
+                    }
                     None => {
                         // Header magic failed after the registry said the
                         // object was live: an overflow reached the chunk
                         // header. Quarantine the chunk (leak it) rather
                         // than hand free_chunk a forged layout.
-                        self.log.report(
+                        self.report_corruption(
                             CorruptionKind::BadLargeMagic,
                             p as usize,
                             "chunk quarantined",
@@ -1151,7 +1404,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 }
             }
             Tag::Baseline | Tag::Offset => {
-                self.log.report(
+                self.report_corruption(
                     CorruptionKind::ForeignPointer,
                     p as usize,
                     "block belongs to a different allocator or is interior",
@@ -1224,6 +1477,7 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
                 };
                 self.large_remember(read_header(p.as_ptr()).value);
                 self.stats.on_alloc(size as u64);
+                self.emit(EventKind::AllocLarge, 0, size as u64);
                 Some(p)
             }
         }
@@ -1246,6 +1500,7 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
                 let size = large::free_large(&self.source, header.value)
                     .expect("corrupt large-object header");
                 self.stats.on_free(size as u64, false);
+                self.emit(EventKind::FreeLarge, 0, size as u64);
             }
             Tag::Freed | Tag::Baseline | Tag::Offset => {
                 unreachable!("pointer was not allocated by Hoard")
@@ -1278,6 +1533,16 @@ impl<Src: ChunkSource> Drop for HoardAllocator<Src> {
     /// inside them become dangling — the same contract as dropping an
     /// arena; tests and the harness drop allocators only when idle.
     fn drop(&mut self) {
+        // Release the attached telemetry Arcs (their other owners — the
+        // harness, tests — keep the sink/registry alive independently).
+        let t = self.tracer.swap(std::ptr::null_mut(), Relaxed);
+        if !t.is_null() {
+            unsafe { drop(Arc::from_raw(t)) };
+        }
+        let m = self.metrics.swap(std::ptr::null_mut(), Relaxed);
+        if !m.is_null() {
+            unsafe { drop(Arc::from_raw(m)) };
+        }
         let s = self.config.superblock_size;
         let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
         for heap in self.heaps.iter() {
@@ -1335,7 +1600,7 @@ unsafe impl<Src: ChunkSource> std::alloc::GlobalAlloc for HoardAllocator<Src> {
                 Some(h) if h.tag == Tag::Offset => ptr.sub(h.to_int()),
                 Some(_) => ptr,
                 None => {
-                    self.log.report(
+                    self.report_corruption(
                         CorruptionKind::ForeignPointer,
                         ptr as usize,
                         "dealloc of an unrecognized pointer",

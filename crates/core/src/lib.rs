@@ -55,6 +55,12 @@ pub use harden::{CorruptionHook, CorruptionKind, CorruptionLog, CorruptionReport
 pub use hoard::{HoardAllocator, RecoverySnapshot};
 pub use magazine::{DEFAULT_MAGAZINE_CAPACITY, MAX_MAGAZINE_CAPACITY};
 pub use hoard_mem::{SizeClass, SizeClassTable, MAX_CLASSES};
+// The observability layer (see DESIGN.md §10): re-exported so harness
+// and tests attach tracers/registries without naming hoard-trace.
+pub use hoard_trace::{
+    chrome_trace_json, jsonio, Event, EventKind, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, TraceConfig, TraceLog, TraceSink, TrackLog, CHROME_PID,
+};
 
 /// Maximum number of per-processor heaps supported (compile-time bound
 /// on the `static`-friendly heap array; the global heap is extra).

@@ -1,4 +1,5 @@
 use hoard_core::{debug, HoardAllocator, HoardConfig, HardeningLevel};
+use hoard_mem::MtAllocator;
 
 #[test]
 fn flush_of_refill_loaded_blocks_no_false_positives() {

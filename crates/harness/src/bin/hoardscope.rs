@@ -1,0 +1,70 @@
+//! `hoardscope` — analyze allocator telemetry traces.
+//!
+//! ```text
+//! hoardscope --demo [--threads N] [--quick]   # traced larson, report
+//! hoardscope --demo --trace out.json          # also save the native trace
+//! hoardscope --demo --chrome out.trace.json   # also save Chrome/Perfetto JSON
+//! hoardscope FILE                             # report on a saved native trace
+//! ```
+//!
+//! The Chrome export loads in `chrome://tracing` or
+//! <https://ui.perfetto.dev> — one track per virtual processor, lock
+//! holds as duration slices, everything else as instants.
+
+use hoard_core::{chrome_trace_json, TraceLog};
+use hoard_harness::{scope_report, traced_larson};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--demo") {
+        demo(&args);
+    } else if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
+        from_file(path);
+    } else {
+        eprintln!(
+            "usage: hoardscope --demo [--threads N] [--quick] \
+             [--trace FILE] [--chrome FILE]\n       \
+             hoardscope FILE"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+}
+
+fn demo(args: &[String]) {
+    let threads: usize = flag_value(args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(4);
+    let quick = args.iter().any(|a| a == "--quick");
+    let run = traced_larson(threads, quick);
+    eprintln!(
+        "traced larson: {} threads, makespan {}, {} events",
+        threads,
+        run.makespan,
+        run.log.total_events()
+    );
+    if let Some(path) = flag_value(args, "--trace") {
+        std::fs::write(path, run.log.to_json()).expect("write trace");
+        eprintln!("wrote native trace to {path}");
+    }
+    if let Some(path) = flag_value(args, "--chrome") {
+        std::fs::write(path, chrome_trace_json(&run.log)).expect("write chrome trace");
+        eprintln!("wrote Chrome/Perfetto trace to {path} (open in ui.perfetto.dev)");
+    }
+    println!("{}", scope_report(&run.log, Some(&run.metrics)));
+}
+
+fn from_file(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let log = TraceLog::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not a native trace (TraceLog JSON): {e}");
+        std::process::exit(2);
+    });
+    println!("{}", scope_report(&log, None));
+}

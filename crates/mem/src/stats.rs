@@ -224,6 +224,38 @@ impl AllocSnapshot {
             Some(self.held_peak as f64 / self.live_peak as f64)
         }
     }
+
+    /// Cross-counter consistency checks, valid for any snapshot taken at
+    /// a quiescent point (no in-flight operations). Returns the first
+    /// violated relation. Harness summaries and tests call this so a
+    /// counter that silently stops being maintained fails loudly instead
+    /// of skewing results tables.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let rules: [(&str, bool); 7] = [
+            ("frees <= allocs", self.frees <= self.allocs),
+            (
+                "allocs == frees implies live_current == 0",
+                self.allocs != self.frees || self.live_current == 0,
+            ),
+            ("live_current <= live_peak", self.live_current <= self.live_peak),
+            ("held_current <= held_peak", self.held_current <= self.held_peak),
+            ("remote_frees <= frees", self.remote_frees <= self.frees),
+            (
+                "magazine alloc hits <= allocs",
+                self.magazines.alloc_hits <= self.allocs,
+            ),
+            (
+                "magazine free hits <= frees",
+                self.magazines.free_hits <= self.frees,
+            ),
+        ];
+        for (rule, holds) in rules {
+            if !holds {
+                return Err(format!("inconsistent snapshot: {rule} violated in {self:?}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +306,51 @@ mod tests {
         });
         assert_eq!(snap.held_current, 7);
         assert_eq!(snap.held_peak, 9);
+    }
+
+    /// Every atomic counter in [`AllocStats`] must surface in
+    /// [`AllocSnapshot`] (directly or via [`MagazineStats`]). The structs
+    /// are flat `u64`/`AtomicU64` records, so field counts reduce to
+    /// `size_of / 8` — if this test fails, a counter was added to one
+    /// side without the other: extend `snapshot()` and the snapshot
+    /// struct (serde derives pick the new field up automatically), then
+    /// update the arithmetic here.
+    #[test]
+    fn every_stats_counter_is_exported_in_the_snapshot() {
+        let stats_counters = std::mem::size_of::<AllocStats>() / 8;
+        let snapshot_fields = std::mem::size_of::<AllocSnapshot>() / 8;
+        // `held_current`/`held_peak` come from `SourceStats`, not from
+        // `AllocStats`; everything else maps 1:1.
+        const SOURCE_ONLY_FIELDS: usize = 2;
+        assert_eq!(
+            stats_counters + SOURCE_ONLY_FIELDS,
+            snapshot_fields,
+            "AllocStats has {stats_counters} counters but AllocSnapshot \
+             serializes {snapshot_fields} fields ({SOURCE_ONLY_FIELDS} of \
+             which come from SourceStats): a counter was added without \
+             exporting it (or vice versa)"
+        );
+    }
+
+    #[test]
+    fn consistency_checks_accept_real_traffic_and_reject_drift() {
+        let s = AllocStats::new();
+        s.on_alloc(64);
+        s.on_alloc(32);
+        s.on_free(64, false);
+        s.on_magazine_alloc_hit();
+        assert_eq!(s.snapshot().check_consistency(), Ok(()));
+
+        let mut bad = s.snapshot();
+        bad.frees = bad.allocs + 1;
+        assert!(bad.check_consistency().unwrap_err().contains("frees <= allocs"));
+
+        let mut leak = s.snapshot();
+        leak.frees = leak.allocs;
+        assert!(leak
+            .check_consistency()
+            .unwrap_err()
+            .contains("live_current == 0"));
     }
 
     #[test]

@@ -56,9 +56,15 @@ pub enum Cost {
     /// (one CAS on a line shared with the owner — cheaper than a lock
     /// handoff and, crucially, not serializing).
     RemoteFreePush,
+    /// Recording one telemetry event into a thread-private trace ring
+    /// (a bump and a store on warm memory). Charged only when a tracer
+    /// is attached, so tracing-off runs are bit-identical in virtual
+    /// time; tracing-on overhead stays small but *visible*, the honest
+    /// way to model an always-on profiler.
+    TraceEvent,
 }
 
-const N_COSTS: usize = 14;
+const N_COSTS: usize = 15;
 
 fn index(cost: Cost) -> usize {
     match cost {
@@ -76,6 +82,7 @@ fn index(cost: Cost) -> usize {
         Cost::Barrier => 11,
         Cost::MagazineOp => 12,
         Cost::RemoteFreePush => 13,
+        Cost::TraceEvent => 14,
     }
 }
 
@@ -98,6 +105,8 @@ pub struct CostModel {
     pub magazine_op: u64,
     #[serde(default)]
     pub remote_free_push: u64,
+    #[serde(default)]
+    pub trace_event: u64,
 }
 
 impl Default for CostModel {
@@ -124,6 +133,11 @@ impl Default for CostModel {
             // strictly cheaper than a contended lock handoff — and it
             // does not serialize the owner.
             remote_free_push: 60,
+            // One ring-buffer store on thread-private memory. Non-zero
+            // so tracing-on runs honestly report their perturbation,
+            // small so the perturbation stays well under the events it
+            // observes.
+            trace_event: 1,
         }
     }
 }
@@ -166,6 +180,7 @@ impl CostModel {
             barrier: unit,
             magazine_op: unit,
             remote_free_push: unit,
+            trace_event: unit,
         }
     }
 
@@ -186,6 +201,7 @@ impl CostModel {
             Cost::Barrier => self.barrier,
             Cost::MagazineOp => self.magazine_op,
             Cost::RemoteFreePush => self.remote_free_push,
+            Cost::TraceEvent => self.trace_event,
         }
     }
 
@@ -217,6 +233,7 @@ impl CostModel {
             barrier: get(Cost::Barrier),
             magazine_op: get(Cost::MagazineOp),
             remote_free_push: get(Cost::RemoteFreePush),
+            trace_event: get(Cost::TraceEvent),
         }
     }
 }
@@ -236,6 +253,7 @@ const ALL: [Cost; N_COSTS] = [
     Cost::Barrier,
     Cost::MagazineOp,
     Cost::RemoteFreePush,
+    Cost::TraceEvent,
 ];
 
 static GLOBAL: [AtomicU64; N_COSTS] = {
@@ -254,6 +272,7 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         barrier: 400,
         magazine_op: 6,
         remote_free_push: 60,
+        trace_event: 1,
     };
     [
         AtomicU64::new(D.malloc_fast),
@@ -270,6 +289,7 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         AtomicU64::new(D.barrier),
         AtomicU64::new(D.magazine_op),
         AtomicU64::new(D.remote_free_push),
+        AtomicU64::new(D.trace_event),
     ]
 };
 

@@ -76,17 +76,20 @@ impl VLock {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut t = clock::now() + cost::get(Cost::LockAcquire);
         let rel = self.v_release.load(Ordering::Relaxed);
+        let mut waited = 0;
         if rel > t {
             // Another processor held the lock past our arrival: we wait
             // in virtual time and pay the contended-handoff penalty,
             // which is serialized (it delays the next holder too because
             // our eventual release time includes it).
-            t = rel + cost::get(Cost::LockHandoff);
+            let target = rel + cost::get(Cost::LockHandoff);
+            waited = target - t;
+            t = target;
             self.contended.fetch_add(1, Ordering::Relaxed);
         }
         clock::set_clock(t);
         crate::gate::inc_lock_depth();
-        VLockGuard { lock: self }
+        VLockGuard { lock: self, waited }
     }
 
     /// Try to acquire without spinning. On failure the caller's clock is
@@ -98,13 +101,16 @@ impl VLock {
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let mut t = clock::now() + cost::get(Cost::LockAcquire);
         let rel = self.v_release.load(Ordering::Relaxed);
+        let mut waited = 0;
         if rel > t {
-            t = rel + cost::get(Cost::LockHandoff);
+            let target = rel + cost::get(Cost::LockHandoff);
+            waited = target - t;
+            t = target;
             self.contended.fetch_add(1, Ordering::Relaxed);
         }
         clock::set_clock(t);
         crate::gate::inc_lock_depth();
-        Some(VLockGuard { lock: self })
+        Some(VLockGuard { lock: self, waited })
     }
 
     /// Total acquisitions so far.
@@ -142,6 +148,24 @@ impl Default for VLock {
 #[derive(Debug)]
 pub struct VLockGuard<'a> {
     lock: &'a VLock,
+    /// Virtual units this acquisition waited beyond an uncontended
+    /// acquire (0 when uncontended). Includes the handoff penalty.
+    waited: u64,
+}
+
+impl VLockGuard<'_> {
+    /// Whether this particular acquisition was virtually contended
+    /// (the acquirer's clock was behind the previous holder's release).
+    pub fn was_contended(&self) -> bool {
+        self.waited > 0
+    }
+
+    /// Virtual units spent waiting on this acquisition beyond the
+    /// uncontended acquire cost; 0 when uncontended. The per-acquisition
+    /// datum behind the tracer's lock-wait histogram.
+    pub fn waited(&self) -> u64 {
+        self.waited
+    }
 }
 
 impl Drop for VLockGuard<'_> {

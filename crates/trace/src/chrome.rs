@@ -1,0 +1,188 @@
+//! Chrome-trace (`trace_event`) export: turn a [`TraceLog`] into JSON
+//! that Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`
+//! load directly.
+//!
+//! Mapping:
+//! - one *thread track* per virtual processor (`pid` 1, `tid` = proc),
+//!   named via `thread_name` metadata events;
+//! - [`EventKind::LockRelease`] becomes a complete-duration event
+//!   (`ph: "X"`) spanning the lock hold — its timestamp is backdated by
+//!   the recorded hold time so the slice starts at acquisition;
+//! - every other kind becomes a thread-scoped instant (`ph: "i"`,
+//!   `s: "t"`) carrying its decoded arguments.
+//!
+//! Timestamps are the sim's virtual units passed through as
+//! microseconds — absolute scale is meaningless for virtual time, but
+//! relative spacing (what Perfetto visualizes) is exact. Events within
+//! a track are sorted by timestamp after backdating, keeping each
+//! track monotone as the format expects.
+
+use crate::event::EventKind;
+use crate::jsonio::{obj, JsonValue};
+use crate::log::TraceLog;
+
+/// The `pid` used for the single simulated process.
+pub const CHROME_PID: u64 = 1;
+
+/// Convert a collected trace into Chrome `trace_event` JSON.
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    let mut events: Vec<JsonValue> =
+        Vec::with_capacity(log.total_events() + log.tracks.len() + 1);
+    events.push(obj(vec![
+        ("name", JsonValue::Str("process_name".into())),
+        ("ph", JsonValue::Str("M".into())),
+        ("pid", JsonValue::Uint(CHROME_PID)),
+        ("tid", JsonValue::Uint(0)),
+        (
+            "args",
+            obj(vec![("name", JsonValue::Str("hoard-sim".into()))]),
+        ),
+    ]));
+    for track in &log.tracks {
+        events.push(obj(vec![
+            ("name", JsonValue::Str("thread_name".into())),
+            ("ph", JsonValue::Str("M".into())),
+            ("pid", JsonValue::Uint(CHROME_PID)),
+            ("tid", JsonValue::Uint(track.proc as u64)),
+            (
+                "args",
+                obj(vec![("name", JsonValue::Str(format!("vcpu-{}", track.proc)))]),
+            ),
+        ]));
+        let mut converted: Vec<(u64, JsonValue)> = track
+            .events
+            .iter()
+            .map(|e| {
+                let (a0, a1) = e.kind.arg_names();
+                let args = obj(vec![
+                    (a0, JsonValue::Uint(e.arg0 as u64)),
+                    (a1, JsonValue::Uint(e.arg1)),
+                ]);
+                if e.kind == EventKind::LockRelease {
+                    // The hold slice: starts at acquisition, lasts the
+                    // recorded hold.
+                    let start = e.ts.saturating_sub(e.arg1);
+                    let v = obj(vec![
+                        ("name", JsonValue::Str(format!("lock-hold heap{}", e.arg0))),
+                        ("cat", JsonValue::Str(e.kind.category().into())),
+                        ("ph", JsonValue::Str("X".into())),
+                        ("ts", JsonValue::Uint(start)),
+                        ("dur", JsonValue::Uint(e.arg1)),
+                        ("pid", JsonValue::Uint(CHROME_PID)),
+                        ("tid", JsonValue::Uint(track.proc as u64)),
+                        ("args", args),
+                    ]);
+                    (start, v)
+                } else {
+                    let v = obj(vec![
+                        ("name", JsonValue::Str(e.kind.label().into())),
+                        ("cat", JsonValue::Str(e.kind.category().into())),
+                        ("ph", JsonValue::Str("i".into())),
+                        ("s", JsonValue::Str("t".into())),
+                        ("ts", JsonValue::Uint(e.ts)),
+                        ("pid", JsonValue::Uint(CHROME_PID)),
+                        ("tid", JsonValue::Uint(track.proc as u64)),
+                        ("args", args),
+                    ]);
+                    (e.ts, v)
+                }
+            })
+            .collect();
+        converted.sort_by_key(|(ts, _)| *ts);
+        events.extend(converted.into_iter().map(|(_, v)| v));
+    }
+    obj(vec![
+        ("traceEvents", JsonValue::Arr(events)),
+        ("displayTimeUnit", JsonValue::Str("ms".into())),
+        (
+            "otherData",
+            obj(vec![("dropped_events", JsonValue::Uint(log.dropped))]),
+        ),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::log::TrackLog;
+
+    fn sample() -> TraceLog {
+        TraceLog {
+            tracks: vec![TrackLog {
+                proc: 2,
+                events: vec![
+                    Event {
+                        ts: 100,
+                        kind: EventKind::Alloc,
+                        arg0: 3,
+                        arg1: 32,
+                    },
+                    Event {
+                        ts: 250,
+                        kind: EventKind::LockRelease,
+                        arg0: 2,
+                        arg1: 200,
+                    },
+                ],
+            }],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn export_has_required_fields() {
+        let json = chrome_trace_json(&sample());
+        let v = JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() >= 4, "metadata + 2 events");
+        for e in events {
+            for field in ["name", "ph", "pid", "tid"] {
+                assert!(e.get(field).is_some(), "missing {field}: {e:?}");
+            }
+            if e.get("ph").unwrap().as_str() != Some("M") {
+                assert!(e.get("ts").unwrap().as_u64().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn lock_release_becomes_backdated_duration_slice() {
+        let json = chrome_trace_json(&sample());
+        let v = JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .expect("a complete-duration event");
+        assert_eq!(
+            slice.get("ts").unwrap().as_u64(),
+            Some(50),
+            "release at 250 held 200 -> starts at 50"
+        );
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(200));
+        assert_eq!(
+            slice.get("args").unwrap().get("heap").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn backdated_slices_keep_tracks_sorted() {
+        // The hold slice starts *before* the instant that precedes it in
+        // emission order; the exporter must re-sort the track.
+        let json = chrome_trace_json(&sample());
+        let v = JsonValue::parse(&json).unwrap();
+        let ts: Vec<u64> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() != Some("M"))
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ts, [50, 100], "slice (backdated to 50) precedes instant");
+    }
+}

@@ -1,0 +1,38 @@
+//! # hoard-trace — the observability layer
+//!
+//! Deterministic, virtual-time telemetry for the Hoard reproduction:
+//!
+//! - **Event tracing** ([`TraceSink`], [`Event`], [`EventKind`]):
+//!   lock-free per-processor rings recording typed, address-free
+//!   events stamped with the sim's virtual clock. Traces of a seeded
+//!   workload are byte-identical across runs — diffable artifacts, not
+//!   samples.
+//! - **Metrics registry** ([`MetricsRegistry`], [`MetricsSnapshot`]):
+//!   per-heap × per-size-class counters plus log₂ histograms of lock
+//!   wait/hold, superblock fullness at transfer, and magazine
+//!   occupancy, with snapshot/delta semantics and JSON export.
+//! - **Exporters**: [`chrome_trace_json`] emits Chrome `trace_event`
+//!   JSON (one track per simulated processor) loadable in Perfetto;
+//!   the `hoardscope` harness binary renders text reports.
+//!
+//! Both recorders are *attachable*: an allocator holds a null pointer
+//! until a sink/registry is installed, so the disabled configuration
+//! costs one relaxed load + branch in real time and **zero** virtual
+//! time — the bit-identity guarantee DESIGN.md §10 documents and
+//! `crates/core/tests/telemetry.rs` enforces.
+
+mod chrome;
+mod event;
+pub mod jsonio;
+mod log;
+mod metrics;
+mod sink;
+
+pub use chrome::{chrome_trace_json, CHROME_PID};
+pub use event::{Event, EventKind};
+pub use log::{TraceLog, TrackLog};
+pub use metrics::{
+    ClassMetrics, HardeningMetrics, HeapMetrics, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use sink::{TraceConfig, TraceSink};
