@@ -71,6 +71,17 @@ pub struct HoardConfig {
     /// bounded additive term derived in DESIGN.md §9.
     #[serde(default)]
     pub magazine_capacity: usize,
+    /// Route the slow paths through the lock-free back-end: superblock
+    /// chunks aligned to `S` so metadata lookup is an address mask,
+    /// remote frees packed into one 64-bit CAS word, and a Treiber-stack
+    /// global superblock cache instead of the locked global heap. Off
+    /// (the default) reproduces the locked back-end bit for bit, the
+    /// same way `magazine_capacity = 0` disables the front-end. Requires
+    /// the magazine front-end: the lock-free back-end hangs superblock
+    /// ownership off the per-thread slots, so `magazine_capacity` must
+    /// be non-zero when this is on.
+    #[serde(default)]
+    pub lockfree_backend: bool,
 }
 
 impl HoardConfig {
@@ -85,7 +96,14 @@ impl HoardConfig {
             release_empty_to_os: false,
             hardening: HardeningLevel::Off,
             magazine_capacity: 0,
+            lockfree_backend: false,
         }
+    }
+
+    /// The paper's configuration plus the magazine front-end *and* the
+    /// lock-free back-end — the full rpmalloc-style stack.
+    pub const fn with_lockfree() -> Self {
+        Self::with_default_magazines().with_lockfree_backend(true)
     }
 
     /// The paper's configuration plus the thread-local magazine
@@ -141,6 +159,13 @@ impl HoardConfig {
         self
     }
 
+    /// Enable or disable the lock-free back-end (requires a non-zero
+    /// magazine capacity; see the field docs).
+    pub const fn with_lockfree_backend(mut self, yes: bool) -> Self {
+        self.lockfree_backend = yes;
+        self
+    }
+
     /// Largest request served from superblocks; larger allocations go
     /// straight to the chunk source (the paper's `S/2` rule).
     pub const fn large_threshold(&self) -> usize {
@@ -168,6 +193,9 @@ impl HoardConfig {
         }
         if self.magazine_capacity > crate::magazine::MAX_MAGAZINE_CAPACITY {
             return Err(ConfigError::BadMagazineCapacity);
+        }
+        if self.lockfree_backend && self.magazine_capacity == 0 {
+            return Err(ConfigError::LockfreeNeedsMagazines);
         }
         Ok(())
     }
@@ -222,6 +250,10 @@ pub enum ConfigError {
     /// Magazine capacity exceeds
     /// [`MAX_MAGAZINE_CAPACITY`](crate::magazine::MAX_MAGAZINE_CAPACITY).
     BadMagazineCapacity,
+    /// `lockfree_backend` is on but the magazine front-end is off; the
+    /// lock-free back-end hangs superblock ownership off the per-thread
+    /// magazine slots, so it cannot run without them.
+    LockfreeNeedsMagazines,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -241,6 +273,12 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "magazine capacity must be at most {}",
                     crate::magazine::MAX_MAGAZINE_CAPACITY
+                )
+            }
+            ConfigError::LockfreeNeedsMagazines => {
+                write!(
+                    f,
+                    "the lock-free back-end requires a non-zero magazine capacity"
                 )
             }
         }
@@ -358,6 +396,18 @@ mod tests {
                 .with_magazine_capacity(crate::magazine::MAX_MAGAZINE_CAPACITY + 1)
                 .validate(),
             Err(ConfigError::BadMagazineCapacity)
+        );
+    }
+
+    #[test]
+    fn lockfree_backend_defaults_off_and_requires_magazines() {
+        assert!(!HoardConfig::new().lockfree_backend, "back-end off by default");
+        const C: HoardConfig = HoardConfig::with_lockfree();
+        const { assert!(C.lockfree_backend && C.magazine_capacity > 0) };
+        assert!(C.validate().is_ok());
+        assert_eq!(
+            HoardConfig::new().with_lockfree_backend(true).validate(),
+            Err(ConfigError::LockfreeNeedsMagazines)
         );
     }
 

@@ -6,11 +6,32 @@
 //! placement (each superblock in the fullness group matching its
 //! occupancy), and the emptiness-invariant postcondition. It is O(heap
 //! contents) and meant for tests, not production paths.
+//!
+//! Under the lock-free back-end the scan widens to the other two owner
+//! domains: each magazine slot's private mini-heap (claimed like any
+//! slot operation, then scanned against its own `u`/`a`) reports as a
+//! [`HeapObservation`] with index `SLOT_OWNER_BASE + slot`, and the
+//! global Treiber-stack cache is walked quiescently in place of the
+//! (then inert) global heap's lists, reporting as index 0.
 
-use crate::hoard::HoardAllocator;
+use crate::hoard::{HoardAllocator, SLOT_OWNER_BASE};
+use crate::magazine::{MagazineSlot, SlotClaim};
 use crate::superblock::Superblock;
 use hoard_mem::ChunkSource;
 use std::sync::atomic::Ordering::Relaxed;
+
+/// Claim a magazine slot for scanning, spinning out any in-flight
+/// allocator operation (claims are held per-operation, never across
+/// blocking calls, so this terminates quickly at the quiescent points
+/// validation is meant for).
+fn claim_slot(slot: &MagazineSlot) -> SlotClaim<'_> {
+    loop {
+        if let Some(c) = slot.try_claim() {
+            return c;
+        }
+        std::hint::spin_loop();
+    }
+}
 
 /// Observation of one heap during [`validate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,19 +125,28 @@ pub fn class_usage<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Vec<ClassUs
             capacity: 0,
         })
         .collect();
+    let mut tally = |sb: *mut Superblock| unsafe {
+        let entry = &mut usage[(*sb).class as usize];
+        entry.superblocks += 1;
+        entry.blocks_in_use += (*sb).in_use as u64;
+        entry.capacity += (*sb).capacity as u64;
+    };
     for (index, heap) in alloc.heaps().iter().enumerate() {
         if index > cfg.heap_count {
             break;
         }
         let _guard = heap.lock.lock();
         unsafe {
-            heap.for_each_superblock(|sb| {
-                let entry = &mut usage[(*sb).class as usize];
-                entry.superblocks += 1;
-                entry.blocks_in_use += (*sb).in_use as u64;
-                entry.capacity += (*sb).capacity as u64;
-            });
+            heap.for_each_superblock(&mut tally);
         }
+    }
+    if cfg.lockfree_backend {
+        // The other two owner domains: slot heaps and the cache.
+        for slot in alloc.frontend() {
+            let claim = claim_slot(slot);
+            unsafe { claim.heap().for_each(&mut tally) };
+        }
+        unsafe { alloc.cache().for_each(&mut tally) };
     }
     usage.retain(|u| u.superblocks > 0);
     usage
@@ -227,6 +257,161 @@ pub fn validate<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Validation {
             invariant_holds: !cfg.invariant_violated(u, a),
             has_f_empty_superblock: has_f_empty,
         });
+    }
+
+    if cfg.lockfree_backend {
+        // The global heap is inert in this mode: every transfer rides
+        // the cache. Anything linked or counted there is a leak from
+        // the locked paths.
+        if let Some(g) = heaps.first() {
+            if g.u != 0 || g.a != 0 || g.superblocks != 0 {
+                errors.push("lockfree: global heap holds state (cache should)".into());
+            }
+        }
+
+        // Replace the inert global-heap observation with a quiescent
+        // walk of the cache — the lock-free owner domain 0. Cached
+        // superblocks have no live counters (accounting is debited on
+        // retirement and credited on adoption), so the observation is
+        // purely scan-derived.
+        let mut used = 0u64;
+        let mut usable = 0u64;
+        let mut count = 0usize;
+        let mut drained = 0usize;
+        let mut has_f_empty = false;
+        unsafe {
+            alloc.cache().for_each(|sb| {
+                count += 1;
+                used += Superblock::used_bytes(sb);
+                usable += Superblock::usable_bytes(sb);
+                if (*sb).in_use == 0 {
+                    drained += 1;
+                }
+                if (*sb).magic != crate::superblock::SB_MAGIC {
+                    errors.push("cache: superblock with bad magic".into());
+                }
+                if Superblock::owner(sb) != 0 {
+                    errors.push(format!(
+                        "cache: cached superblock owned by {}",
+                        Superblock::owner(sb)
+                    ));
+                }
+                if (*sb).in_use > (*sb).capacity {
+                    errors.push("cache: in_use exceeds capacity".into());
+                }
+                if cfg.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+                    has_f_empty = true;
+                }
+            });
+        }
+        if alloc.cache().is_empty() != (count == 0) {
+            errors.push("cache: is_empty disagrees with walk".into());
+        }
+        // Quiescently, a cached superblock is drained iff it sits on
+        // the empty stack (partials are pushed with live blocks and
+        // only settle/adoption touch them), so the approximate counter
+        // must be exact here.
+        if alloc.cache().empty_count() != drained {
+            errors.push(format!(
+                "cache: empty_count {} != walked drained superblocks {drained}",
+                alloc.cache().empty_count()
+            ));
+        }
+        heaps[0] = HeapObservation {
+            index: 0,
+            u: used,
+            a: usable,
+            superblocks: count,
+            invariant_holds: true, // not meaningful for the cache
+            has_f_empty_superblock: has_f_empty,
+        };
+
+        for (i, slot) in alloc.frontend().iter().enumerate() {
+            let claim = claim_slot(slot);
+            let sh = claim.heap();
+            let index = SLOT_OWNER_BASE + i;
+            let mut scanned_used = 0u64;
+            let mut scanned_usable = 0u64;
+            let mut scanned_count = 0usize;
+            let mut empties = 0usize;
+            let mut has_f_empty = false;
+            unsafe {
+                sh.for_each(|sb| {
+                    scanned_count += 1;
+                    scanned_used += Superblock::used_bytes(sb);
+                    scanned_usable += Superblock::usable_bytes(sb);
+                    if (*sb).magic != crate::superblock::SB_MAGIC {
+                        errors.push(format!("slot {i}: superblock with bad magic"));
+                    }
+                    if Superblock::owner(sb) != index {
+                        errors.push(format!(
+                            "slot {i}: linked superblock owned by {}",
+                            Superblock::owner(sb)
+                        ));
+                    }
+                    if (*sb).in_use > (*sb).capacity {
+                        errors.push(format!("slot {i}: in_use exceeds capacity"));
+                    }
+                    if cfg.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+                        has_f_empty = true;
+                    }
+                    // Slots keep no fullness groups: binned superblocks
+                    // carry group 0, empty-list ones the sentinel.
+                    match (*sb).group {
+                        u8::MAX => {
+                            empties += 1;
+                            if (*sb).in_use != 0 {
+                                errors.push(format!(
+                                    "slot {i}: non-empty superblock on the empty list"
+                                ));
+                            }
+                        }
+                        0 => {
+                            if (*sb).class as usize >= crate::magazine::MAG_CLASSES {
+                                errors.push(format!(
+                                    "slot {i}: binned superblock of non-front-end class {}",
+                                    (*sb).class
+                                ));
+                            }
+                            if (*sb).in_use == 0 {
+                                errors.push(format!(
+                                    "slot {i}: drained superblock still in a class bin"
+                                ));
+                            }
+                        }
+                        g => errors.push(format!("slot {i}: unexpected group {g}")),
+                    }
+                });
+            }
+            if empties != sh.empty_count {
+                errors.push(format!(
+                    "slot {i}: empty_count {} != walked empties {empties}",
+                    sh.empty_count
+                ));
+            }
+            if scanned_used != sh.u {
+                errors.push(format!(
+                    "slot {i}: u counter {} != scanned used bytes {scanned_used}",
+                    sh.u
+                ));
+            }
+            if scanned_usable != sh.a {
+                errors.push(format!(
+                    "slot {i}: a counter {} != scanned usable bytes {scanned_usable}",
+                    sh.a
+                ));
+            }
+            if scanned_count > 0 || sh.u != 0 || sh.a != 0 {
+                heaps.push(HeapObservation {
+                    index,
+                    u: sh.u,
+                    a: sh.a,
+                    superblocks: scanned_count,
+                    invariant_holds: !cfg.invariant_violated(sh.u, sh.a),
+                    has_f_empty_superblock: has_f_empty,
+                });
+            }
+        }
     }
 
     Validation { heaps, errors }

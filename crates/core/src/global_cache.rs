@@ -1,0 +1,331 @@
+//! The lock-free global superblock cache.
+//!
+//! In the locked back-end the global heap (`heaps[0]`) is an ordinary
+//! [`Heap`](crate::heap::Heap): every transfer takes its lock, and
+//! `fetch_from_global` scans `find_with_free` under it. This module
+//! replaces that rendezvous for the lock-free back-end with Treiber
+//! stacks of *whole superblocks*:
+//!
+//! * one **empty stack** of reformat-ready superblocks (any class), and
+//! * one **partial stack per size class**, holding `f`-empty
+//!   superblocks retired by invariant restoration.
+//!
+//! A transfer is then one CAS instead of a lock acquire, list surgery,
+//! and lock release, and the global `u`/`a` accounting moves to atomic
+//! post-accounting on the (unused) global heap's counters. Stack heads
+//! pack the superblock pointer with a wrapping ABA tag in the low bits
+//! that chunk alignment guarantees are zero: a pop CAS can therefore
+//! never mistake a recycled head for an unchanged stack.
+//!
+//! ## Memory reclamation
+//!
+//! A popping thread reads `(*head).next` before its CAS; a concurrent
+//! pop may take that superblock first, so the read can land on a
+//! superblock the reader no longer owns. This is benign — the failed
+//! CAS discards the value — *provided the memory stays mapped*. The
+//! back-end therefore treats superblock chunks as **type-stable while
+//! cached**: chunks reachable from these stacks are returned to the
+//! chunk source only after being popped (exclusive ownership), and the
+//! source recycles through the process heap, so the transient read
+//! targets allocator-owned memory. See DESIGN.md §11.
+
+use crate::superblock::Superblock;
+use hoard_mem::MAX_CLASSES;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Tag bits available in a packed stack head: superblock chunks are
+/// aligned to at least 4 KiB (and to `S` in the lock-free back-end),
+/// so the low 12 bits of a base address are always zero.
+const TAG_BITS: u32 = 12;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+
+/// A Treiber stack of superblocks, linked through `(*sb).next`, with
+/// the head packed as `superblock_base | aba_tag`.
+pub(crate) struct SbStack {
+    head: AtomicU64,
+}
+
+impl SbStack {
+    pub(crate) const fn new() -> Self {
+        SbStack {
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Push a superblock the caller exclusively owns. Lock-free.
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live, chunk-aligned superblock that no other
+    /// thread can reach; the caller relinquishes it.
+    pub(crate) unsafe fn push(&self, sb: *mut Superblock) {
+        debug_assert_eq!(sb as u64 & TAG_MASK, 0, "superblock base must be chunk-aligned");
+        let mut cur = self.head.load(Ordering::Relaxed);
+        loop {
+            (*sb).next = (cur & !TAG_MASK) as *mut Superblock;
+            let next = sb as u64 | (cur.wrapping_add(1) & TAG_MASK);
+            // Release publishes the link write and every prior write to
+            // the superblock's contents to the next popper.
+            match self
+                .head
+                .compare_exchange_weak(cur, next, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Pop the top superblock, or null. The winner owns it exclusively.
+    ///
+    /// # Safety
+    ///
+    /// Superblocks reachable from the stack must stay mapped (see the
+    /// module-level reclamation note).
+    pub(crate) unsafe fn pop(&self) -> *mut Superblock {
+        let mut cur = self.head.load(Ordering::Acquire);
+        loop {
+            let sb = (cur & !TAG_MASK) as *mut Superblock;
+            if sb.is_null() {
+                return std::ptr::null_mut();
+            }
+            // May read a superblock another popper just took (benign:
+            // the CAS below fails and discards it — type-stability).
+            let next_sb = (*sb).next;
+            let next = next_sb as u64 | (cur.wrapping_add(1) & TAG_MASK);
+            match self
+                .head
+                .compare_exchange_weak(cur, next, Ordering::Acquire, Ordering::Acquire)
+            {
+                Ok(_) => return sb,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whether the stack is currently empty (racy peek).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Relaxed) & !TAG_MASK == 0
+    }
+
+    /// Walk the stack without detaching it.
+    ///
+    /// # Safety
+    ///
+    /// Quiescent use only (debug validation, drop): no concurrent
+    /// pushes or pops.
+    pub(crate) unsafe fn for_each(&self, mut f: impl FnMut(*mut Superblock)) {
+        let mut cur = (self.head.load(Ordering::Acquire) & !TAG_MASK) as *mut Superblock;
+        while !cur.is_null() {
+            let next = (*cur).next;
+            f(cur);
+            cur = next;
+        }
+    }
+}
+
+/// The global cache: an empty stack plus per-class partial stacks.
+/// `const`-constructible so a `static` allocator can embed it.
+pub(crate) struct GlobalCache {
+    empty: SbStack,
+    empty_count: AtomicUsize,
+    partial: [SbStack; MAX_CLASSES],
+}
+
+impl GlobalCache {
+    pub(crate) const fn new() -> Self {
+        GlobalCache {
+            empty: SbStack::new(),
+            empty_count: AtomicUsize::new(0),
+            partial: [const { SbStack::new() }; MAX_CLASSES],
+        }
+    }
+
+    /// Park a completely empty superblock (any class; it will be
+    /// reformatted on reuse).
+    ///
+    /// # Safety
+    ///
+    /// As for [`SbStack::push`]; additionally `(*sb).in_use == 0`.
+    pub(crate) unsafe fn push_empty(&self, sb: *mut Superblock) {
+        debug_assert_eq!((*sb).in_use, 0);
+        self.empty.push(sb);
+        self.empty_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take an empty superblock, or null.
+    ///
+    /// # Safety
+    ///
+    /// As for [`SbStack::pop`].
+    pub(crate) unsafe fn pop_empty(&self) -> *mut Superblock {
+        let sb = self.empty.pop();
+        if !sb.is_null() {
+            self.empty_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        sb
+    }
+
+    /// Approximate number of cached empty superblocks.
+    pub(crate) fn empty_count(&self) -> usize {
+        self.empty_count.load(Ordering::Relaxed)
+    }
+
+    /// Park an `f`-empty partial superblock of `class`.
+    ///
+    /// # Safety
+    ///
+    /// As for [`SbStack::push`]; `(*sb).class` must equal `class`.
+    pub(crate) unsafe fn push_partial(&self, class: usize, sb: *mut Superblock) {
+        debug_assert_eq!((*sb).class as usize, class);
+        self.partial[class].push(sb);
+    }
+
+    /// Take a partial superblock of `class`, or null.
+    ///
+    /// # Safety
+    ///
+    /// As for [`SbStack::pop`].
+    pub(crate) unsafe fn pop_partial(&self, class: usize) -> *mut Superblock {
+        self.partial[class].pop()
+    }
+
+    /// Whether any stack holds a superblock (racy peek; for stats and
+    /// quiescent sweeps).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.empty.is_empty() && self.partial.iter().all(SbStack::is_empty)
+    }
+
+    /// Visit every cached superblock (empty stack first, then partials).
+    ///
+    /// # Safety
+    ///
+    /// Quiescent use only; see [`SbStack::for_each`].
+    pub(crate) unsafe fn for_each(&self, mut f: impl FnMut(*mut Superblock)) {
+        self.empty.for_each(&mut f);
+        for stack in &self.partial {
+            stack.for_each(&mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::alloc::Layout;
+
+    const S: usize = 8192;
+
+    struct Chunk(*mut u8, Layout);
+
+    impl Chunk {
+        fn new() -> Self {
+            let layout = Layout::from_size_align(S, S).unwrap();
+            let p = unsafe { std::alloc::alloc(layout) };
+            assert!(!p.is_null());
+            Chunk(p, layout)
+        }
+        fn sb(&self) -> *mut Superblock {
+            unsafe { Superblock::init(self.0, S, 0, 16, 0, 0) }
+        }
+    }
+
+    impl Drop for Chunk {
+        fn drop(&mut self) {
+            unsafe { std::alloc::dealloc(self.0, self.1) };
+        }
+    }
+
+    #[test]
+    fn stack_is_lifo_and_drains_to_null() {
+        let (c1, c2, c3) = (Chunk::new(), Chunk::new(), Chunk::new());
+        let (a, b, d) = (c1.sb(), c2.sb(), c3.sb());
+        let stack = SbStack::new();
+        unsafe {
+            assert!(stack.is_empty());
+            stack.push(a);
+            stack.push(b);
+            stack.push(d);
+            assert!(!stack.is_empty());
+            assert_eq!(stack.pop(), d);
+            assert_eq!(stack.pop(), b);
+            assert_eq!(stack.pop(), a);
+            assert!(stack.pop().is_null());
+            assert!(stack.is_empty());
+        }
+    }
+
+    #[test]
+    fn for_each_walks_without_detaching() {
+        let (c1, c2) = (Chunk::new(), Chunk::new());
+        let (a, b) = (c1.sb(), c2.sb());
+        let stack = SbStack::new();
+        unsafe {
+            stack.push(a);
+            stack.push(b);
+            let mut seen = Vec::new();
+            stack.for_each(|sb| seen.push(sb));
+            assert_eq!(seen, vec![b, a]);
+            assert_eq!(stack.pop(), b, "walk left the stack intact");
+            assert_eq!(stack.pop(), a);
+        }
+    }
+
+    #[test]
+    fn cache_tracks_empty_count_and_routes_partials_by_class() {
+        let (c1, c2) = (Chunk::new(), Chunk::new());
+        let (a, b) = (c1.sb(), c2.sb());
+        let cache = GlobalCache::new();
+        unsafe {
+            assert!(cache.is_empty());
+            cache.push_empty(a);
+            assert_eq!(cache.empty_count(), 1);
+            cache.push_partial(0, b);
+            assert!(!cache.is_empty());
+            assert!(cache.pop_partial(1).is_null(), "class 1 stack untouched");
+            assert_eq!(cache.pop_partial(0), b);
+            assert_eq!(cache.pop_empty(), a);
+            assert_eq!(cache.empty_count(), 0);
+            assert!(cache.is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_push_pop_loses_nothing() {
+        // N superblocks circulate among threads that pop one and push
+        // it back; afterwards every superblock is still present exactly
+        // once — the packed-tag CAS lost or duplicated nothing.
+        const N: usize = 8;
+        let chunks: Vec<Chunk> = (0..N).map(|_| Chunk::new()).collect();
+        let stack = SbStack::new();
+        for c in &chunks {
+            unsafe { stack.push(c.sb()) };
+        }
+        let stack_ref = &stack;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        unsafe {
+                            let sb = stack_ref.pop();
+                            if !sb.is_null() {
+                                stack_ref.push(sb);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut seen = std::collections::HashSet::new();
+        unsafe {
+            loop {
+                let sb = stack.pop();
+                if sb.is_null() {
+                    break;
+                }
+                assert!(seen.insert(sb as usize), "superblock duplicated");
+            }
+        }
+        assert_eq!(seen.len(), N, "no superblock lost under contention");
+    }
+}

@@ -31,7 +31,7 @@
 //! two threads can slip past the header check. Sequential misuse — by
 //! far the common case — is detected deterministically.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering, Ordering::Relaxed};
 use std::sync::Mutex;
 
 /// How much checking the allocator performs on its hot paths.
@@ -228,6 +228,124 @@ impl CorruptionLog {
     }
 }
 
+// ----- live-superblock registry (lock-free back-end) -----
+
+/// Slots in the live-superblock registry. 4096 superblocks at the
+/// default `S` = 8 KiB is 32 MiB of small-object heap — far past any
+/// simulated workload; overflow degrades gracefully (see
+/// [`SuperblockRegistry::overflowed`]).
+pub(crate) const REGISTRY_CAP: usize = 4096;
+
+const SLOT_EMPTY: usize = 0;
+const SLOT_TOMB: usize = 1;
+
+/// A `const`-constructible, allocation-free set of live superblock base
+/// addresses: open-addressed linear probing over atomic slots, with
+/// tombstones for removal.
+///
+/// The lock-free back-end derives a block's superblock by masking the
+/// pointer's low bits instead of reading the per-block header — which
+/// means a forged or foreign pointer masks to an address the allocator
+/// may never have owned. Dereferencing it to check `SB_MAGIC` would be
+/// the vulnerability, not the defense. This registry is the ground
+/// truth the hardened free path consults *before* touching the masked
+/// address: chunks register on allocation (before any block is handed
+/// out) and unregister before release, and chunks are disjoint and
+/// `S`-aligned, so a hit proves the pointer lies inside a live
+/// superblock.
+///
+/// Addresses are chunk-aligned (≥ 4 KiB), so `0` and `1` are free to
+/// serve as the empty and tombstone sentinels.
+pub(crate) struct SuperblockRegistry {
+    slots: [AtomicUsize; REGISTRY_CAP],
+    overflowed: AtomicBool,
+}
+
+impl SuperblockRegistry {
+    pub(crate) const fn new() -> Self {
+        SuperblockRegistry {
+            slots: [const { AtomicUsize::new(SLOT_EMPTY) }; REGISTRY_CAP],
+            overflowed: AtomicBool::new(false),
+        }
+    }
+
+    /// Fibonacci-hash the aligned address into a starting slot.
+    fn home(addr: usize) -> usize {
+        // Low 12 bits are always zero (chunk alignment); mix the rest.
+        ((addr >> 12).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) % REGISTRY_CAP
+    }
+
+    /// Register a live superblock base address. Must be called before
+    /// any block of the chunk is handed out. Returns `false` (and
+    /// latches the overflow flag) if the table is full.
+    pub(crate) fn insert(&self, addr: usize) -> bool {
+        debug_assert!(addr > SLOT_TOMB);
+        let home = Self::home(addr);
+        for i in 0..REGISTRY_CAP {
+            let slot = &self.slots[(home + i) % REGISTRY_CAP];
+            let cur = slot.load(Relaxed);
+            if cur == SLOT_EMPTY || cur == SLOT_TOMB {
+                // Release pairs with the Acquire in `contains`: a hit
+                // proves the chunk's registration (and everything the
+                // registering thread published before it) is visible.
+                if slot
+                    .compare_exchange(cur, addr, Ordering::Release, Relaxed)
+                    .is_ok()
+                {
+                    return true;
+                }
+                // Lost the slot to a concurrent insert; keep probing.
+            }
+        }
+        self.overflowed.store(true, Ordering::Release);
+        false
+    }
+
+    /// Unregister a superblock about to be released. Returns whether it
+    /// was present.
+    pub(crate) fn remove(&self, addr: usize) -> bool {
+        let home = Self::home(addr);
+        for i in 0..REGISTRY_CAP {
+            let slot = &self.slots[(home + i) % REGISTRY_CAP];
+            match slot.load(Relaxed) {
+                a if a == addr => {
+                    slot.store(SLOT_TOMB, Relaxed);
+                    return true;
+                }
+                SLOT_EMPTY => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Whether `addr` is a registered live superblock base.
+    pub(crate) fn contains(&self, addr: usize) -> bool {
+        if addr <= SLOT_TOMB {
+            // A forged pointer can mask to anything, including the
+            // sentinels; never let it match an empty slot.
+            return false;
+        }
+        let home = Self::home(addr);
+        for i in 0..REGISTRY_CAP {
+            let slot = &self.slots[(home + i) % REGISTRY_CAP];
+            match slot.load(Ordering::Acquire) {
+                a if a == addr => return true,
+                SLOT_EMPTY => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Whether an insert ever failed for lack of space. Once latched,
+    /// the mask-based free path must fall back to header dispatch —
+    /// absence from the registry no longer proves a pointer foreign.
+    pub(crate) fn overflowed(&self) -> bool {
+        self.overflowed.load(Ordering::Acquire)
+    }
+}
+
 // ----- poisoning and canaries (Full mode) -----
 
 /// Byte pattern written over freed payloads.
@@ -362,6 +480,63 @@ mod tests {
             payload.add(hoard_mem::align_up(24, 8)).write(0xFF);
             assert!(!canary_intact(payload, 24));
         }
+    }
+
+    #[test]
+    fn registry_insert_contains_remove() {
+        let reg = SuperblockRegistry::new();
+        let a = 0x10_0000usize;
+        let b = 0x20_0000usize;
+        assert!(!reg.contains(a));
+        assert!(reg.insert(a));
+        assert!(reg.insert(b));
+        assert!(reg.contains(a));
+        assert!(reg.contains(b));
+        assert!(!reg.contains(0x30_0000));
+        assert!(!reg.contains(0), "sentinel addresses never match");
+        assert!(!reg.contains(1));
+        assert!(reg.remove(a));
+        assert!(!reg.contains(a));
+        assert!(reg.contains(b), "tombstone does not break b's probe chain");
+        assert!(!reg.remove(a), "double remove reports absence");
+        assert!(!reg.overflowed());
+    }
+
+    #[test]
+    fn registry_survives_collisions_and_reuses_tombstones() {
+        let reg = SuperblockRegistry::new();
+        // Many aligned addresses; some will collide in a 4096-slot table.
+        let addrs: Vec<usize> = (1..=512).map(|i| i * 0x2000).collect();
+        for &a in &addrs {
+            assert!(reg.insert(a));
+        }
+        for &a in &addrs {
+            assert!(reg.contains(a));
+        }
+        for &a in &addrs {
+            assert!(reg.remove(a));
+        }
+        for &a in &addrs {
+            assert!(!reg.contains(a));
+        }
+        // The table is now all tombstones in those chains; reinsert must
+        // reclaim them rather than overflow.
+        for &a in &addrs {
+            assert!(reg.insert(a));
+            assert!(reg.contains(a));
+        }
+        assert!(!reg.overflowed());
+    }
+
+    #[test]
+    fn registry_overflow_latches() {
+        let reg = SuperblockRegistry::new();
+        for i in 1..=REGISTRY_CAP {
+            assert!(reg.insert(i * 0x1000), "fits exactly");
+        }
+        assert!(!reg.overflowed());
+        assert!(!reg.insert((REGISTRY_CAP + 1) * 0x1000));
+        assert!(reg.overflowed(), "overflow latched for fallback dispatch");
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //! `tests/invariants.rs` verify.
 
 use crate::config::HoardConfig;
-use crate::harden::{self, CorruptionKind, CorruptionLog};
+use crate::global_cache::GlobalCache;
+use crate::harden::{self, CorruptionKind, CorruptionLog, SuperblockRegistry};
 use crate::heap::Heap;
-use crate::magazine::{Magazine, MagazineSlot, SlotClaim, MAG_CLASSES, MAG_SLOTS};
+use crate::magazine::{Magazine, MagazineSlot, SlotClaim, SlotHeap, MAG_CLASSES, MAG_SLOTS};
 use crate::superblock::Superblock;
 use crate::MAX_HEAPS;
 use hoard_mem::{
@@ -48,8 +49,16 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::Acquire, Ordering::Relea
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex};
 
-/// Alignment requested for superblock chunks.
+/// Alignment requested for superblock chunks in the locked back-end.
+/// The lock-free back-end aligns chunks to the superblock size instead,
+/// which is what makes the O(1) address-mask metadata lookup sound.
 const CHUNK_ALIGN: usize = 4096;
+
+/// First pseudo-owner index naming a magazine slot's private mini-heap
+/// (lock-free back-end only). `Superblock::owner` then encodes three
+/// domains: `0` = global (heap 0, or the lock-free cache), `1..=MAX_HEAPS`
+/// = per-processor heaps, `SLOT_OWNER_BASE + s` = magazine slot `s`.
+pub(crate) const SLOT_OWNER_BASE: usize = MAX_HEAPS + 1;
 
 /// Counters for the allocator's out-of-memory recovery path: when the
 /// chunk source refuses a chunk, the allocator returns every completely
@@ -154,6 +163,15 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     /// detached free blocks (slot = `proc % MAG_SLOTS`). Inert when
     /// `config.magazine_capacity == 0`.
     frontend: [MagazineSlot; MAG_SLOTS],
+    /// Lock-free global superblock cache (Treiber stacks); replaces the
+    /// global heap's lock entirely when `config.lockfree_backend`.
+    /// Inert otherwise.
+    cache: GlobalCache,
+    /// Live superblock base addresses, maintained when
+    /// `config.lockfree_backend`: lets `free` derive the superblock
+    /// from `ptr & !(S-1)` (one mask + one probe) and lets the hardened
+    /// path reject forged headers without trusting their contents.
+    registry: SuperblockRegistry,
     /// Attachable event tracer (null = tracing off). Holds a raw
     /// `Arc<TraceSink>` installed by [`attach_tracer`]; released on
     /// drop or replacement. When null, every hot path pays exactly one
@@ -205,6 +223,8 @@ impl HoardAllocator<SystemSource> {
             large_live: Mutex::new(Vec::new()),
             recovery: RecoveryStats::new(),
             frontend: [const { MagazineSlot::new() }; MAG_SLOTS],
+            cache: GlobalCache::new(),
+            registry: SuperblockRegistry::new(),
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
         }
@@ -230,6 +250,8 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             large_live: Mutex::new(Vec::new()),
             recovery: RecoveryStats::new(),
             frontend: [const { MagazineSlot::new() }; MAG_SLOTS],
+            cache: GlobalCache::new(),
+            registry: SuperblockRegistry::new(),
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
         })
@@ -417,6 +439,57 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         self.config.magazine_capacity != 0
     }
 
+    /// Whether the lock-free back-end is enabled (implies magazines;
+    /// enforced by `HoardConfig::validate`).
+    fn lockfree(&self) -> bool {
+        self.config.lockfree_backend
+    }
+
+    /// Chunk alignment in effect: the lock-free back-end aligns chunks
+    /// to the superblock size so `ptr & !(S-1)` recovers the superblock
+    /// base — O(1) metadata lookup by address masking.
+    fn chunk_align(&self) -> usize {
+        if self.lockfree() {
+            self.config.superblock_size.max(CHUNK_ALIGN)
+        } else {
+            CHUNK_ALIGN
+        }
+    }
+
+    /// Layout of one superblock chunk under the back-end in effect.
+    fn superblock_layout(&self) -> Layout {
+        Layout::from_size_align(self.config.superblock_size, self.chunk_align())
+            .expect("superblock layout")
+    }
+
+    /// Pull one superblock chunk from the source, registering its base
+    /// for mask-lookup when the lock-free back-end is on.
+    ///
+    /// # Safety
+    ///
+    /// As for [`ChunkSource::alloc_chunk`].
+    unsafe fn alloc_sb_chunk(&self) -> Option<NonNull<u8>> {
+        let chunk = self.source.alloc_chunk(self.superblock_layout())?;
+        if self.lockfree() {
+            self.registry.insert(chunk.as_ptr() as usize);
+        }
+        Some(chunk)
+    }
+
+    /// Return a superblock chunk to the source (the inverse of
+    /// [`alloc_sb_chunk`](Self::alloc_sb_chunk)).
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock chunk the caller exclusively owns.
+    unsafe fn free_sb_chunk(&self, sb: *mut Superblock) {
+        if self.lockfree() {
+            self.registry.remove(sb as usize);
+        }
+        self.source
+            .free_chunk(NonNull::new_unchecked(sb as *mut u8), self.superblock_layout());
+    }
+
     /// Total (acquisitions, virtually contended acquisitions) across all
     /// heap locks — the counters behind the "fast path bypasses the
     /// lock" measurements in `results/`.
@@ -456,7 +529,11 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             }
             None => {
                 charge_cost(Cost::MallocFast);
-                let got = self.refill_magazine(class, mag);
+                let got = if self.lockfree() {
+                    self.refill_lockfree(claim.heap(), current_proc() % MAG_SLOTS, class, mag)
+                } else {
+                    self.refill_magazine(class, mag)
+                };
                 if got == 0 {
                     return None;
                 }
@@ -552,8 +629,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 sb = self.fetch_from_global(heap, hi, class, block_size);
             }
             if sb.is_null() {
-                let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
-                let Some(chunk) = self.source.alloc_chunk(layout) else {
+                let Some(chunk) = self.alloc_sb_chunk() else {
                     break;
                 };
                 sb = Superblock::init(
@@ -640,13 +716,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             // Foreign per-processor heap: defer instead of bouncing its
             // lock — until the stack is deep enough that someone should
             // take the lock and drain it.
-            if (*sb).remote_count.load(Relaxed) >= Self::remote_limit((*sb).capacity) {
+            if Superblock::remote_len(sb) >= Self::remote_limit((*sb).capacity) {
                 return false;
             }
             if !self.harden_on_stash(sb, payload, block_size) {
                 return true;
             }
-            Superblock::push_remote(sb, payload);
+            let _ = Superblock::push_remote(sb, payload);
             charge_cost(Cost::RemoteFreePush);
             self.stats.on_remote_push();
             self.stats.on_free(block_size as u64, true);
@@ -735,7 +811,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     self.emit(EventKind::EmptinessCross, hi as u32, 0);
                 }
             } else {
-                Superblock::push_remote(sb, p);
+                let _ = Superblock::push_remote(sb, p);
             }
         }
         // Same armed-latch hysteresis as `free_small`: a batch of frees
@@ -757,20 +833,17 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// refill to fetch it straight back: transfer ping-pong that costs
     /// more than the locks the front-end saves.
     unsafe fn drain_remote_locked(&self, heap: &Heap, sb: *mut Superblock) -> bool {
-        let mut p = Superblock::take_remote(sb);
+        let (mut p, n) = Superblock::take_remote(sb);
         if p.is_null() {
             return false;
         }
         let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
         let block_size = (*sb).block_size as u64;
-        let mut n = 0u32;
         while !p.is_null() {
-            let next = (p as *mut *mut u8).read();
+            let next = Superblock::remote_next(sb, p);
             Superblock::free_block(sb, p);
-            n += 1;
             p = next;
         }
-        Superblock::note_drained(sb, n);
         heap.u.fetch_sub(block_size * n as u64, Relaxed);
         heap.relink(sb);
         self.stats.on_remote_drain();
@@ -844,7 +917,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                         harden::poison_payload(p, (*sb).block_size);
                     }
                 }
-                Superblock::push_remote(sb, p);
+                let _ = Superblock::push_remote(sb, p);
             }
         }
     }
@@ -883,6 +956,24 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 };
                 self.park_claimed_slot(&claim);
             }
+            if self.lockfree() {
+                // Slot heaps drain only after *every* slot is parked (a
+                // later slot's magazine may hold an earlier slot's
+                // blocks), then settle their invariants.
+                for (i, slot) in self.frontend.iter().enumerate() {
+                    let claim = loop {
+                        match slot.try_claim() {
+                            Some(c) => break c,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    let sh = claim.heap();
+                    for class in 0..MAG_CLASSES {
+                        self.drain_slot_class(sh, class);
+                    }
+                    self.restore_slot_invariant(sh, i);
+                }
+            }
             // Per-processor heaps first: their restorations migrate
             // superblocks *to* the global heap, which is settled last.
             for hi in (0..=self.config.heap_count).rev() {
@@ -894,6 +985,472 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 } else {
                     self.restore_invariant(heap, hi);
                 }
+            }
+            if self.lockfree() {
+                self.settle_cache();
+            }
+        }
+    }
+
+    // ----- the lock-free back-end -----
+    //
+    // With `config.lockfree_backend` the three lock rendezvous of the
+    // magazine design disappear:
+    //
+    // * metadata lookup: chunks are aligned to `S`, so `free` recovers
+    //   the superblock as `ptr & !(S-1)` plus one probe of the live-base
+    //   registry (no header dependency on the unhardened path);
+    // * remote frees: each superblock's deferred stack is one packed
+    //   64-bit word (head index | count | ABA tag), so pushes are one
+    //   CAS and the owner drains with one swap;
+    // * the global heap: whole superblocks park on Treiber stacks
+    //   (`GlobalCache`) instead of heap 0's locked lists.
+    //
+    // Small-class superblocks are owned by *magazine slots* (pseudo-
+    // owner `SLOT_OWNER_BASE + slot`), each a claim-guarded mini-heap
+    // (`SlotHeap`) obeying the same emptiness invariant as a heap, so
+    // the paper's O(U + P·S) blowup bound survives with `P` counted as
+    // heaps + slots. Heap locks remain only on the rare fallback paths
+    // (slot collisions and classes too big for magazines).
+
+    /// Lock-free refill: pull a half-capacity batch for `class` from
+    /// the slot's own mini-heap, falling back to the cache and then the
+    /// OS. The slot-claim counterpart of `refill_magazine`; never takes
+    /// a heap lock. Returns the number of blocks obtained.
+    unsafe fn refill_lockfree(
+        &self,
+        sh: &mut SlotHeap,
+        slot_idx: usize,
+        class: usize,
+        mag: &mut Magazine,
+    ) -> usize {
+        let block_size = self.classes.class(class).block_size;
+        let s = self.config.superblock_size;
+        let me = SLOT_OWNER_BASE + slot_idx;
+        if let Some(m) = self.metrics_ref() {
+            // A refill only runs on a dry magazine; record the boundary.
+            m.on_magazine_level(0);
+        }
+        // Parked remote frees are where this class's blocks pool up;
+        // recover them before pulling fresh memory. Slot bins are short
+        // (the invariant bounds them), so one whole-class sweep covers
+        // what the locked path does in two.
+        let mut trigger = self.drain_slot_class(sh, class);
+        let want = (self.config.magazine_capacity / 2).max(1);
+        let mut got = 0usize;
+        while got < want {
+            // The same waterfall as `refill_magazine`, against the
+            // slot's structures: bin → own empty → cache → OS.
+            let mut sb = sh.find_with_free(class);
+            if sb.is_null() {
+                sb = sh.pop_empty();
+                if !sb.is_null() {
+                    if (*sb).class as usize != class {
+                        let before = Superblock::usable_bytes(sb);
+                        Superblock::reformat(sb, s, class as u32, block_size, self.block_extra());
+                        sh.a += Superblock::usable_bytes(sb);
+                        sh.a -= before;
+                    }
+                    sh.link(sb);
+                }
+            }
+            if sb.is_null() {
+                sb = self.adopt_from_cache(sh, me, class, block_size);
+            }
+            if sb.is_null() {
+                let Some(chunk) = self.alloc_sb_chunk() else {
+                    break;
+                };
+                sb = Superblock::init(
+                    chunk.as_ptr(),
+                    s,
+                    class as u32,
+                    block_size,
+                    me,
+                    self.block_extra(),
+                );
+                sh.a += Superblock::usable_bytes(sb);
+                sh.link(sb);
+            }
+            if Superblock::remote_pending(sb) {
+                // Draining can re-home `sb` onto the empty list;
+                // reselect instead of allocating from a moved superblock.
+                trigger |= self.drain_slot_sb(sh, sb);
+                continue;
+            }
+            let mut taken = 0u64;
+            while got < want && Superblock::has_free(sb) {
+                let reused = self.config.hardening.poisons() && !(*sb).free_head.is_null();
+                let p = Superblock::alloc_block(sb);
+                if reused && !harden::poison_intact(p, block_size) {
+                    self.report_corruption(
+                        CorruptionKind::PoisonOverwrite,
+                        p as usize,
+                        "freed block modified before reuse",
+                    );
+                }
+                mag.push(p);
+                taken += 1;
+                got += 1;
+            }
+            sh.u += taken * block_size as u64;
+            if !self.config.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+                (*sb).armed = true;
+            }
+        }
+        // Same armed-latch hysteresis as `refill_magazine`.
+        if trigger {
+            self.restore_slot_invariant(sh, slot_idx);
+        }
+        got
+    }
+
+    /// Adopt one superblock from the lock-free cache into a slot heap:
+    /// partials of `class` first, then an empty to reformat. One CAS
+    /// per stack attempted; accounting is pure post-adoption arithmetic
+    /// on the claim-guarded slot counters.
+    unsafe fn adopt_from_cache(
+        &self,
+        sh: &mut SlotHeap,
+        me: usize,
+        class: usize,
+        block_size: u32,
+    ) -> *mut Superblock {
+        let mut sb = self.cache.pop_partial(class);
+        if sb.is_null() {
+            sb = self.cache.pop_empty();
+            if !sb.is_null() && (*sb).class as usize != class {
+                Superblock::reformat(
+                    sb,
+                    self.config.superblock_size,
+                    class as u32,
+                    block_size,
+                    self.block_extra(),
+                );
+            }
+        }
+        if sb.is_null() {
+            return sb;
+        }
+        charge_cost(Cost::AtomicRmw);
+        Superblock::set_owner(sb, me);
+        sh.a += Superblock::usable_bytes(sb);
+        sh.u += Superblock::used_bytes(sb);
+        sh.link(sb);
+        self.stats.on_transfer_from_global();
+        charge_cost(Cost::SuperblockTransfer);
+        let pct = fullness_pct(sb);
+        self.emit(EventKind::TransferFromGlobal, 0, pct);
+        if let Some(m) = self.metrics_ref() {
+            m.on_transfer_from_global(0, pct);
+        }
+        sb
+    }
+
+    /// `free` for the lock-free back-end (small classes). Same-slot
+    /// blocks stash into the magazine under the claim; everything else
+    /// rides the superblock's packed remote word. Never takes a heap
+    /// lock.
+    unsafe fn lockfree_free(&self, sb: *mut Superblock, payload: *mut u8) {
+        let block_size = (*sb).block_size;
+        let class = (*sb).class as usize;
+        let slot_idx = current_proc() % MAG_SLOTS;
+        let me = SLOT_OWNER_BASE + slot_idx;
+        if Superblock::owner(sb) == me {
+            if let Some(claim) = self.frontend[slot_idx].try_claim() {
+                // Owner can only change under this slot's claim, so the
+                // re-check below makes the read stable for the stash.
+                if Superblock::owner(sb) == me {
+                    let mag = claim.magazine(class);
+                    if mag.len() >= self.config.magazine_capacity {
+                        self.flush_magazine_lockfree(claim.heap(), slot_idx, class, mag);
+                        self.stats.on_magazine_flush();
+                    }
+                    if !self.harden_on_stash(sb, payload, block_size) {
+                        return; // quarantined: handled, nothing stashed
+                    }
+                    mag.push(payload);
+                    charge_cost(Cost::MagazineOp);
+                    self.stats.on_magazine_free_hit();
+                    self.stats.on_free(block_size as u64, false);
+                    self.emit(EventKind::FreeMagazine, class as u32, 0);
+                    if let Some(m) = self.metrics_ref() {
+                        m.on_free(self.heap_index_for_current_thread(), class, true);
+                    }
+                    return;
+                }
+            }
+        }
+        // Foreign (another slot, a heap, the cache) or claim collision.
+        self.lockfree_remote_free(sb, payload);
+    }
+
+    /// Account and defer one free onto `sb`'s packed remote word
+    /// (hardening transforms included; quarantine swallows the push).
+    unsafe fn lockfree_remote_free(&self, sb: *mut Superblock, payload: *mut u8) {
+        if !self.harden_on_stash(sb, payload, (*sb).block_size) {
+            return;
+        }
+        let owner = Superblock::owner(sb);
+        self.stats.on_remote_push();
+        self.stats.on_free((*sb).block_size as u64, true);
+        self.emit(EventKind::RemoteFreePush, (*sb).class, owner as u64);
+        if let Some(m) = self.metrics_ref() {
+            let hi = if owner <= MAX_HEAPS { owner } else { 0 };
+            m.on_remote_free(hi, (*sb).class as usize);
+        }
+        self.push_remote_lockfree(sb, payload);
+    }
+
+    /// Push one block onto `sb`'s packed remote word; when the stack
+    /// crosses `remote_limit`, try to steal the owner's structure and
+    /// drain in place (the lock-free analogue of the forced-drain
+    /// fallback in `frontend_free`).
+    unsafe fn push_remote_lockfree(&self, sb: *mut Superblock, payload: *mut u8) {
+        let count = Superblock::push_remote(sb, payload);
+        charge_cost(Cost::AtomicRmw);
+        if count >= Self::remote_limit((*sb).capacity) {
+            self.steal_drain(sb);
+        }
+    }
+
+    /// Drain a superblock whose remote stack crossed the threshold,
+    /// wherever it lives: a slot heap (claim it), a per-processor heap
+    /// (lock it), or the cache (nothing to do — adoption drains). Best
+    /// effort: a busy owner keeps the stack until its next operation.
+    unsafe fn steal_drain(&self, sb: *mut Superblock) {
+        let owner = Superblock::owner(sb);
+        if owner == 0 {
+            return;
+        }
+        if owner >= SLOT_OWNER_BASE {
+            let slot_idx = owner - SLOT_OWNER_BASE;
+            if let Some(claim) = self.frontend[slot_idx].try_claim() {
+                // Stable once re-checked under the claim (see
+                // `lockfree_free`).
+                if Superblock::owner(sb) == owner {
+                    let sh = claim.heap();
+                    if self.drain_slot_sb(sh, sb) {
+                        self.restore_slot_invariant(sh, slot_idx);
+                    }
+                }
+            }
+            return;
+        }
+        let heap = &self.heaps[owner];
+        let guard = self.lock_heap(heap, owner);
+        if Superblock::owner(sb) != owner {
+            return; // migrated while we were locking; its new owner drains
+        }
+        if self.drain_remote_locked(heap, sb) {
+            self.restore_invariant(heap, owner);
+        }
+        drop(guard);
+    }
+
+    /// Drain `sb`'s packed remote word into its free list with one
+    /// atomic swap. Caller holds the owning slot's claim; `sb` is
+    /// linked in `sh`. Returns whether to trigger invariant restoration
+    /// (the armed-latch hysteresis of `drain_remote_locked`).
+    unsafe fn drain_slot_sb(&self, sh: &mut SlotHeap, sb: *mut Superblock) -> bool {
+        let (mut p, n) = Superblock::take_remote(sb);
+        charge_cost(Cost::AtomicRmw);
+        if p.is_null() {
+            return false;
+        }
+        let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let block_size = (*sb).block_size as u64;
+        while !p.is_null() {
+            let next = Superblock::remote_next(sb, p);
+            Superblock::free_block(sb, p);
+            p = next;
+        }
+        sh.u -= block_size * n as u64;
+        sh.relink(sb);
+        self.stats.on_remote_drain();
+        self.emit(EventKind::RemoteFreeDrain, (*sb).class, n as u64);
+        let crossed = !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let too_many_empties = (*sb).in_use == 0 && sh.empty_count > self.config.slack_k;
+        let trigger = ((*sb).armed && crossed) || too_many_empties;
+        if crossed {
+            (*sb).armed = false;
+            self.emit(EventKind::EmptinessCross, 0, 0);
+        }
+        trigger
+    }
+
+    /// Drain every pending remote stack on `class`'s superblocks in a
+    /// slot heap. Returns the accumulated restoration trigger.
+    unsafe fn drain_slot_class(&self, sh: &mut SlotHeap, class: usize) -> bool {
+        let mut trigger = false;
+        let mut sb = sh.class_head(class);
+        while !sb.is_null() {
+            let next = (*sb).next; // drain may relink; step first
+            if Superblock::remote_pending(sb) {
+                trigger |= self.drain_slot_sb(sh, sb);
+            }
+            sb = next;
+        }
+        trigger
+    }
+
+    /// Lock-free flush: return the oldest half of the `class` magazine.
+    /// Slot-owned blocks free directly under the claim; blocks whose
+    /// superblock migrated away ride its remote word. The slot-claim
+    /// counterpart of `flush_magazine`.
+    unsafe fn flush_magazine_lockfree(
+        &self,
+        sh: &mut SlotHeap,
+        slot_idx: usize,
+        class: usize,
+        mag: &mut Magazine,
+    ) {
+        if let Some(m) = self.metrics_ref() {
+            // Flushes only run on a full magazine; record the boundary.
+            m.on_magazine_level(mag.len() as u64);
+        }
+        let mut batch = [std::ptr::null_mut(); crate::magazine::MAX_MAGAZINE_CAPACITY];
+        let n = mag.take_oldest((self.config.magazine_capacity / 2).max(1), &mut batch);
+        let me = SLOT_OWNER_BASE + slot_idx;
+        self.emit(EventKind::MagazineFlush, class as u32, n as u64);
+        let mut trigger = false;
+        for &p in &batch[..n] {
+            let h = read_header(p);
+            let sb = h.value as *mut Superblock;
+            // Same two-population normalization as `flush_magazine`:
+            // refill-loaded blocks get the stash transforms on their way
+            // to a free list.
+            if self.config.hardening.detects() && h.tag != Tag::Freed {
+                write_header(p, HeaderWord::new(Tag::Freed, sb as usize));
+                if self.config.hardening.poisons() {
+                    harden::poison_payload(p, (*sb).block_size);
+                }
+            }
+            if Superblock::owner(sb) == me {
+                let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                Superblock::free_block(sb, p);
+                sh.u -= (*sb).block_size as u64;
+                sh.relink(sb);
+                let crossed =
+                    !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                let too_many_empties =
+                    (*sb).in_use == 0 && sh.empty_count > self.config.slack_k;
+                trigger |= ((*sb).armed && crossed) || too_many_empties;
+                if crossed {
+                    (*sb).armed = false;
+                    self.emit(EventKind::EmptinessCross, 0, 0);
+                }
+            } else {
+                let _ = Superblock::push_remote(sb, p);
+                charge_cost(Cost::AtomicRmw);
+            }
+        }
+        if trigger {
+            self.restore_slot_invariant(sh, slot_idx);
+        }
+    }
+
+    /// Re-establish the emptiness invariant on a slot heap by retiring
+    /// superblocks to the lock-free cache (or the OS under the
+    /// `release_empty_to_os` ablation): the same policy and hysteresis
+    /// as `restore_invariant`, with CAS pushes in place of heap 0's
+    /// lock. Caller holds the slot's claim.
+    unsafe fn restore_slot_invariant(&self, sh: &mut SlotHeap, _slot_idx: usize) {
+        let mut moved_partial = false;
+        loop {
+            if !self.config.invariant_violated(sh.u, sh.a) {
+                return;
+            }
+            let (victim, used) = if moved_partial {
+                // Only empties may continue the loop.
+                (sh.pop_empty(), 0)
+            } else {
+                sh.take_emptiest(&self.config)
+            };
+            if victim.is_null() {
+                return; // nothing eligible (transient; see module docs)
+            }
+            if (*victim).in_use != 0 {
+                moved_partial = true;
+            }
+            sh.a -= Superblock::usable_bytes(victim);
+            sh.u -= used;
+            if self.config.release_empty_to_os && (*victim).in_use == 0 {
+                self.free_sb_chunk(victim);
+                continue;
+            }
+            self.retire_to_cache(victim, 0);
+        }
+    }
+
+    /// Push an unlinked superblock the caller exclusively owns onto the
+    /// cache (empty stack, or its class's partial stack) and hand it to
+    /// the global domain. One CAS; no lock. `from` is the heap index
+    /// reported to telemetry (0 for slot retirements).
+    unsafe fn retire_to_cache(&self, victim: *mut Superblock, from: usize) {
+        // Ownership must transfer *before* the push publishes the
+        // superblock: the popper adopts it immediately, and concurrent
+        // frees routed by a stale slot/heap owner would chase a
+        // structure that no longer tracks it. Frees that see owner 0
+        // defer onto the remote word, which survives the transfer.
+        Superblock::set_owner(victim, 0);
+        charge_cost(Cost::AtomicRmw);
+        let pct = fullness_pct(victim);
+        if (*victim).in_use == 0 {
+            self.cache.push_empty(victim);
+        } else {
+            self.cache.push_partial((*victim).class as usize, victim);
+        }
+        self.stats.on_transfer_to_global();
+        charge_cost(Cost::SuperblockTransfer);
+        self.emit(EventKind::TransferToGlobal, from as u32, pct);
+        if let Some(m) = self.metrics_ref() {
+            m.on_transfer_to_global(from, pct);
+        }
+    }
+
+    /// Quiescent sweep of the cache: drain deferred frees parked on
+    /// cached partials (pop → drain → re-push through an intrusive
+    /// local chain; allocation-free), re-home drained ones onto the
+    /// empty stack, and apply the `release_empty_to_os` ablation.
+    unsafe fn settle_cache(&self) {
+        for class in 0..self.classes.len() {
+            let mut kept: *mut Superblock = std::ptr::null_mut();
+            loop {
+                let sb = self.cache.pop_partial(class);
+                if sb.is_null() {
+                    break;
+                }
+                if Superblock::remote_pending(sb) {
+                    let (mut p, n) = Superblock::take_remote(sb);
+                    while !p.is_null() {
+                        let next = Superblock::remote_next(sb, p);
+                        Superblock::free_block(sb, p);
+                        p = next;
+                    }
+                    self.stats.on_remote_drain();
+                    self.emit(EventKind::RemoteFreeDrain, (*sb).class, n as u64);
+                }
+                if (*sb).in_use == 0 {
+                    self.cache.push_empty(sb);
+                } else {
+                    (*sb).next = kept;
+                    kept = sb;
+                }
+            }
+            while !kept.is_null() {
+                let next = (*kept).next;
+                self.cache.push_partial(class, kept);
+                kept = next;
+            }
+        }
+        if self.config.release_empty_to_os {
+            loop {
+                let sb = self.cache.pop_empty();
+                if sb.is_null() {
+                    return;
+                }
+                self.free_sb_chunk(sb);
             }
         }
     }
@@ -967,8 +1524,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
 
         // 4. Fresh superblock from the OS.
         if sb.is_null() {
-            let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
-            let chunk = self.source.alloc_chunk(layout)?;
+            let chunk = self.alloc_sb_chunk()?;
             sb = Superblock::init(
                 chunk.as_ptr(),
                 s,
@@ -1013,9 +1569,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         Some(NonNull::new_unchecked(payload))
     }
 
-    /// Step 3 of `malloc`: while holding heap `hi`'s lock, lock the
-    /// global heap and move one suitable superblock over. Returns the
-    /// superblock linked into `heap`, or null.
+    /// Step 3 of `malloc`: while holding heap `hi`'s lock, move one
+    /// suitable superblock over from the global domain — the locked
+    /// global heap, or the lock-free cache. Returns the superblock
+    /// linked into `heap`, or null.
     unsafe fn fetch_from_global(
         &self,
         heap: &Heap,
@@ -1023,26 +1580,65 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         class: usize,
         block_size: u32,
     ) -> *mut Superblock {
+        if self.lockfree() {
+            let mut sb = self.cache.pop_partial(class);
+            if sb.is_null() {
+                sb = self.cache.pop_empty();
+                if !sb.is_null() && (*sb).class as usize != class {
+                    Superblock::reformat(
+                        sb,
+                        self.config.superblock_size,
+                        class as u32,
+                        block_size,
+                        self.block_extra(),
+                    );
+                }
+            }
+            if sb.is_null() {
+                return sb;
+            }
+            charge_cost(Cost::AtomicRmw);
+            Superblock::set_owner(sb, hi);
+            let used = Superblock::used_bytes(sb);
+            heap.a.fetch_add(Superblock::usable_bytes(sb), Relaxed);
+            heap.u.fetch_add(used, Relaxed);
+            heap.link(sb);
+            self.stats.on_transfer_from_global();
+            charge_cost(Cost::SuperblockTransfer);
+            let pct = fullness_pct(sb);
+            self.emit(EventKind::TransferFromGlobal, hi as u32, pct);
+            if let Some(m) = self.metrics_ref() {
+                m.on_transfer_from_global(hi, pct);
+            }
+            return sb;
+        }
         let global = &self.heaps[0];
-        let _g0 = self.lock_heap(global, 0);
-
+        // The global lock covers only list surgery, accounting, and the
+        // ownership handoff; the (comparatively expensive) reformat
+        // runs after it drops. Ownership *must* transfer under the
+        // lock: a concurrent free still reading owner 0 would lock heap
+        // 0 and relink the already-unlinked superblock there. Once the
+        // owner reads `hi`, such frees serialize on heap `hi`'s lock —
+        // which the caller holds for the duration of the reformat.
         let sb = {
+            let _g0 = self.lock_heap(global, 0);
             let found = global.find_with_free(class);
-            if !found.is_null() {
+            let sb = if !found.is_null() {
                 global.unlink(found);
                 found
             } else {
                 global.pop_empty()
+            };
+            if sb.is_null() {
+                return sb;
             }
+            // Debit the global heap at the superblock's *current*
+            // geometry; ours is credited at the new one below.
+            global.a.fetch_sub(Superblock::usable_bytes(sb), Relaxed);
+            global.u.fetch_sub(Superblock::used_bytes(sb), Relaxed);
+            Superblock::set_owner(sb, hi);
+            sb
         };
-        if sb.is_null() {
-            return sb;
-        }
-
-        // Debit the global heap at the superblock's *current* geometry,
-        // reformat if the class differs, then credit ours at the new one.
-        global.a.fetch_sub(Superblock::usable_bytes(sb), Relaxed);
-        global.u.fetch_sub(Superblock::used_bytes(sb), Relaxed);
         if (*sb).class as usize != class {
             debug_assert_eq!((*sb).in_use, 0, "only empty superblocks reformat");
             Superblock::reformat(
@@ -1054,7 +1650,6 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             );
         }
         let used = Superblock::used_bytes(sb);
-        Superblock::set_owner(sb, hi);
         heap.a.fetch_add(Superblock::usable_bytes(sb), Relaxed);
         heap.u.fetch_add(used, Relaxed);
         heap.link(sb);
@@ -1074,6 +1669,23 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// magazines are on and the class qualifies, else (or on fallback)
     /// through the locked path.
     unsafe fn free_dispatch(&self, sb: *mut Superblock, payload: *mut u8) {
+        if self.lockfree() {
+            if ((*sb).class as usize) < MAG_CLASSES {
+                self.lockfree_free(sb, payload);
+                return;
+            }
+            let owner = Superblock::owner(sb);
+            if owner == 0 || owner >= SLOT_OWNER_BASE {
+                // A big-class superblock in a CAS-guarded domain (the
+                // cache, or transiently a slot): its lists must never be
+                // mutated under heap 0's lock, so defer onto the remote
+                // word — the next adopter drains.
+                self.lockfree_remote_free(sb, payload);
+                return;
+            }
+            self.free_small(sb, payload);
+            return;
+        }
         if self.magazines_on()
             && ((*sb).class as usize) < MAG_CLASSES
             && self.frontend_free(sb, payload)
@@ -1086,6 +1698,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     unsafe fn free_small(&self, sb: *mut Superblock, payload: *mut u8) {
         loop {
             let owner = Superblock::owner(sb);
+            if self.lockfree() && (owner == 0 || owner >= SLOT_OWNER_BASE) {
+                // Migrated into a CAS-guarded domain between dispatch
+                // and lock: defer instead (heap 0 is never locked for
+                // superblock traffic in this mode).
+                self.lockfree_remote_free(sb, payload);
+                return;
+            }
             let heap = &self.heaps[owner];
             let guard = self.lock_heap(heap, owner);
             if Superblock::owner(sb) != owner {
@@ -1214,11 +1833,12 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             if self.config.release_empty_to_os && (*victim).in_use == 0 {
                 // Ablation: drained superblocks go straight back to the OS
                 // instead of parking in the global heap.
-                let layout =
-                    Layout::from_size_align(self.config.superblock_size, CHUNK_ALIGN)
-                        .expect("superblock layout");
-                self.source
-                    .free_chunk(NonNull::new_unchecked(victim as *mut u8), layout);
+                self.free_sb_chunk(victim);
+                continue;
+            }
+
+            if self.lockfree() {
+                self.retire_to_cache(victim, hi);
                 continue;
             }
 
@@ -1244,16 +1864,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         if !self.config.release_empty_to_os {
             return;
         }
-        let s = self.config.superblock_size;
         loop {
             let sb = global.pop_empty();
             if sb.is_null() {
                 return;
             }
             global.a.fetch_sub(Superblock::usable_bytes(sb), Relaxed);
-            let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
-            self.source
-                .free_chunk(NonNull::new_unchecked(sb as *mut u8), layout);
+            self.free_sb_chunk(sb);
         }
     }
 
@@ -1275,8 +1892,6 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 }
             }
         }
-        let layout = Layout::from_size_align(self.config.superblock_size, CHUNK_ALIGN)
-            .expect("superblock layout");
         let mut reclaimed = 0u64;
         for (hi, heap) in self
             .heaps
@@ -1295,14 +1910,46 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     break;
                 }
                 heap.a.fetch_sub(Superblock::usable_bytes(sb), Relaxed);
-                self.source
-                    .free_chunk(NonNull::new_unchecked(sb as *mut u8), layout);
+                self.free_sb_chunk(sb);
                 here += 1;
             }
             if here > 0 {
                 self.emit(EventKind::OomReclaim, hi as u32, here);
             }
             reclaimed += here;
+        }
+        if self.lockfree() {
+            // Slot-owned and cached empties live outside the heaps.
+            let mut extra = 0u64;
+            for slot in &self.frontend {
+                if let Some(claim) = slot.try_claim() {
+                    let sh = claim.heap();
+                    for class in 0..MAG_CLASSES {
+                        self.drain_slot_class(sh, class);
+                    }
+                    loop {
+                        let sb = sh.pop_empty();
+                        if sb.is_null() {
+                            break;
+                        }
+                        sh.a -= Superblock::usable_bytes(sb);
+                        self.free_sb_chunk(sb);
+                        extra += 1;
+                    }
+                }
+            }
+            loop {
+                let sb = self.cache.pop_empty();
+                if sb.is_null() {
+                    break;
+                }
+                self.free_sb_chunk(sb);
+                extra += 1;
+            }
+            if extra > 0 {
+                self.emit(EventKind::OomReclaim, 0, extra);
+            }
+            reclaimed += extra;
         }
         if reclaimed > 0 {
             self.recovery.on_reclaim(reclaimed);
@@ -1345,13 +1992,30 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             }
             Tag::Superblock => {
                 let sb = header.value as *mut Superblock;
-                if sb.is_null() || !(sb as usize).is_multiple_of(CHUNK_ALIGN) {
+                if sb.is_null() || !(sb as usize).is_multiple_of(self.chunk_align()) {
                     self.report_corruption(
                         CorruptionKind::ForeignPointer,
                         p as usize,
                         "header names a misaligned superblock",
                     );
                     return;
+                }
+                if self.lockfree() && !self.registry.overflowed() {
+                    // Mask-derived forgery check: the header must name
+                    // exactly the base the address maps to, and that
+                    // base must be a live registered superblock. A
+                    // forged header can satisfy neither without the
+                    // pointer actually lying inside one of our chunks.
+                    charge_cost(Cost::MaskLookup);
+                    let masked = p as usize & !(self.config.superblock_size - 1);
+                    if masked != sb as usize || !self.registry.contains(masked) {
+                        self.report_corruption(
+                            CorruptionKind::ForeignPointer,
+                            p as usize,
+                            "header disagrees with the address mask",
+                        );
+                        return;
+                    }
                 }
                 if (*sb).magic != crate::superblock::SB_MAGIC {
                     self.report_corruption(
@@ -1361,7 +2025,10 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                     );
                     return;
                 }
-                if Superblock::owner(sb) > MAX_HEAPS {
+                let owner = Superblock::owner(sb);
+                let owner_ok = owner <= MAX_HEAPS
+                    || (self.lockfree() && owner < SLOT_OWNER_BASE + MAG_SLOTS);
+                if !owner_ok {
                     self.report_corruption(
                         CorruptionKind::ForeignPointer,
                         p as usize,
@@ -1413,20 +2080,30 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         }
     }
 
+    /// Lock the large-object registry, tolerating poisoning: a thread
+    /// that panicked mid-push leaves the `Vec` in a sane state (at
+    /// worst one address over- or under-recorded), so recovery is
+    /// strictly better than wedging every later large free. The one
+    /// place this policy lives; recoveries surface as a hardening trace
+    /// event so they are observable rather than silent.
+    fn large_live_locked(&self) -> std::sync::MutexGuard<'_, Vec<usize>> {
+        self.large_live.lock().unwrap_or_else(|poisoned| {
+            self.emit(EventKind::LockPoisoned, 0, 0);
+            poisoned.into_inner()
+        })
+    }
+
     /// Record a live large object's chunk address (hardened modes only).
     fn large_remember(&self, chunk_addr: usize) {
         if self.config.hardening.detects() {
-            self.large_live
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(chunk_addr);
+            self.large_live_locked().push(chunk_addr);
         }
     }
 
     /// Remove a large object from the live registry; `false` means it
     /// was not live (double free).
     fn large_forget(&self, chunk_addr: usize) -> bool {
-        let mut live = self.large_live.lock().unwrap_or_else(|e| e.into_inner());
+        let mut live = self.large_live_locked();
         match live.iter().position(|&a| a == chunk_addr) {
             Some(i) => {
                 live.swap_remove(i);
@@ -1440,6 +2117,14 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
 
     pub(crate) fn heaps(&self) -> &[Heap; MAX_HEAPS + 1] {
         &self.heaps
+    }
+
+    pub(crate) fn frontend(&self) -> &[MagazineSlot; MAG_SLOTS] {
+        &self.frontend
+    }
+
+    pub(crate) fn cache(&self) -> &GlobalCache {
+        &self.cache
     }
 }
 
@@ -1488,6 +2173,28 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
         if self.config.hardening.detects() {
             self.deallocate_hardened(ptr);
             return;
+        }
+        if self.lockfree() && !self.registry.overflowed() {
+            // O(1) metadata lookup by address masking: chunks are
+            // aligned to `S`, so the pointer's superblock base is one
+            // AND away, and the live-base registry tells small from
+            // large without touching the block header. A masked base
+            // inside a large chunk can never alias a registered one —
+            // any address within `S` above a superblock base is inside
+            // that superblock's own chunk.
+            let masked = ptr.as_ptr() as usize & !(self.config.superblock_size - 1);
+            if self.registry.contains(masked) {
+                charge_cost(Cost::MaskLookup);
+                let sb = masked as *mut Superblock;
+                debug_assert_eq!((*sb).magic, crate::superblock::SB_MAGIC, "bad free");
+                debug_assert_eq!(
+                    read_header(ptr.as_ptr()).value,
+                    masked,
+                    "mask and header disagree on the superblock base"
+                );
+                self.free_dispatch(sb, ptr.as_ptr());
+                return;
+            }
         }
         let header = read_header(ptr.as_ptr());
         match header.tag {
@@ -1543,16 +2250,44 @@ impl<Src: ChunkSource> Drop for HoardAllocator<Src> {
         if !m.is_null() {
             unsafe { drop(Arc::from_raw(m)) };
         }
-        let s = self.config.superblock_size;
-        let layout = Layout::from_size_align(s, CHUNK_ALIGN).expect("superblock layout");
         for heap in self.heaps.iter() {
             unsafe {
                 let mut chunks: Vec<*mut Superblock> = Vec::new();
                 heap.for_each_superblock(|sb| chunks.push(sb));
                 for sb in chunks {
                     heap.unlink(sb);
-                    self.source
-                        .free_chunk(NonNull::new_unchecked(sb as *mut u8), layout);
+                    self.free_sb_chunk(sb);
+                }
+            }
+        }
+        if self.lockfree() {
+            // Slot-owned and cached superblocks live outside the heaps.
+            unsafe {
+                for slot in &self.frontend {
+                    let claim = slot.try_claim().expect("drop requires quiescence");
+                    let sh = claim.heap();
+                    let mut chunks: Vec<*mut Superblock> = Vec::new();
+                    sh.for_each(|sb| chunks.push(sb));
+                    for sb in chunks {
+                        sh.unlink(sb);
+                        self.free_sb_chunk(sb);
+                    }
+                }
+                loop {
+                    let sb = self.cache.pop_empty();
+                    if sb.is_null() {
+                        break;
+                    }
+                    self.free_sb_chunk(sb);
+                }
+                for class in 0..self.classes.len() {
+                    loop {
+                        let sb = self.cache.pop_partial(class);
+                        if sb.is_null() {
+                            break;
+                        }
+                        self.free_sb_chunk(sb);
+                    }
                 }
             }
         }

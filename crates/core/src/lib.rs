@@ -41,6 +41,7 @@
 //! it is `const`-constructible and allocation-free on its own paths.
 
 mod config;
+mod global_cache;
 mod harden;
 mod heap;
 mod hoard;

@@ -18,11 +18,56 @@
 
 use crate::FULLNESS_GROUPS;
 use hoard_mem::{write_header, HeaderWord, Tag, HEADER_SIZE};
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Magic value marking a live superblock header (helps catch wild
 /// pointers in debug assertions).
 pub(crate) const SB_MAGIC: u64 = 0x5B10_C0DE_5B10_C0DE;
+
+// ---- packed remote-free word -------------------------------------------
+//
+// The deferred remote-free stack is one `AtomicU64`:
+//
+// ```text
+//   63            40 39            20 19             0
+//  +----------------+----------------+----------------+
+//  |  ABA tag (24)  |   count (20)   | head index (20)|
+//  +----------------+----------------+----------------+
+// ```
+//
+// The head is a *block index* into the superblock's slot array
+// (`NULL_IDX` = empty), and the chain runs through each parked payload's
+// first word, which stores the next block's index. Because the head,
+// the length, and a wrapping tag travel in one word, a push is a single
+// CAS, and the owner detaches the whole chain *and* learns exactly how
+// many blocks it got with a single `swap` — that count is what lets the
+// emptiness-invariant accounting (`u -= count * block_size`) happen
+// without a lock. The tag increments on every push so a CAS can never
+// mistake a recycled (head, count) pair for an unchanged stack.
+const IDX_BITS: u32 = 20;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+/// Sentinel head index meaning "stack empty". Also the hard cap on
+/// block indices, asserted at `init`: a superblock would need >1M slots
+/// to overflow it, which `S ≤ 2^31` cannot produce.
+pub(crate) const NULL_IDX: u32 = IDX_MASK as u32;
+const COUNT_SHIFT: u32 = 20;
+const TAG_SHIFT: u32 = 40;
+/// The empty remote word (tag 0, count 0, head NULL).
+const REMOTE_EMPTY: u64 = IDX_MASK;
+
+const fn pack_remote(head: u32, count: u32, tag: u64) -> u64 {
+    (head as u64 & IDX_MASK)
+        | ((count as u64 & IDX_MASK) << COUNT_SHIFT)
+        | (tag << TAG_SHIFT)
+}
+
+const fn remote_head_idx(word: u64) -> u32 {
+    (word & IDX_MASK) as u32
+}
+
+const fn remote_word_count(word: u64) -> u32 {
+    ((word >> COUNT_SHIFT) & IDX_MASK) as u32
+}
 
 /// Offset of the first block slot within the chunk (past the header,
 /// rounded to a cache line so block payloads of distinct superblocks
@@ -58,18 +103,15 @@ pub(crate) struct Superblock {
     /// old and new owners' locks during migration; read lock-free by
     /// `free` to decide which lock to take.
     pub owner: AtomicUsize,
-    /// Deferred remote-free stack: a Treiber LIFO of block payloads
-    /// freed by non-owner threads, linked through each payload's first
-    /// word. Pushed lock-free ([`push_remote`](Self::push_remote)),
-    /// drained by the owner under its heap lock
-    /// ([`take_remote`](Self::take_remote)). Blocks parked here still
-    /// count as allocated (`in_use` undecremented), so the superblock
-    /// can never be reformatted or released while the stack is
-    /// non-empty.
-    pub remote_head: AtomicPtr<u8>,
-    /// Approximate length of the remote stack (relaxed counter; used
-    /// only as a drain-pressure heuristic, never for accounting).
-    pub remote_count: AtomicU32,
+    /// Deferred remote-free stack, packed into one word: (head block
+    /// index, exact count, ABA tag) — see the module-level layout
+    /// comment. Pushed lock-free ([`push_remote`](Self::push_remote)),
+    /// detached whole by the owner in one exchange
+    /// ([`take_remote`](Self::take_remote)), which also yields the
+    /// exact count for `u` accounting. Blocks parked here still count
+    /// as allocated (`in_use` undecremented), so the superblock can
+    /// never be reformatted or released while the stack is non-empty.
+    pub remote: AtomicU64,
     /// Fullness group this superblock is currently linked into.
     pub group: u8,
     /// Eviction hysteresis latch: set when the superblock fills past the
@@ -102,6 +144,10 @@ impl Superblock {
         let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE + extra;
         let capacity = (superblock_size - blocks_offset()) / stride;
         debug_assert!(capacity >= 1, "superblock must hold at least one block");
+        debug_assert!(
+            capacity < NULL_IDX as usize,
+            "block indices must fit the packed remote word"
+        );
         sb.write(Superblock {
             magic: SB_MAGIC,
             class,
@@ -114,8 +160,7 @@ impl Superblock {
             next: std::ptr::null_mut(),
             prev: std::ptr::null_mut(),
             owner: AtomicUsize::new(owner),
-            remote_head: AtomicPtr::new(std::ptr::null_mut()),
-            remote_count: AtomicU32::new(0),
+            remote: AtomicU64::new(REMOTE_EMPTY),
             group: 0,
             armed: true,
         });
@@ -142,7 +187,7 @@ impl Superblock {
         // in_use == 0 implies no block is parked in the remote stack
         // (parked blocks keep in_use raised), so the stack must be empty.
         debug_assert!(
-            (*sb).remote_head.load(Ordering::Relaxed).is_null(),
+            remote_head_idx((*sb).remote.load(Ordering::Relaxed)) == NULL_IDX,
             "reformat with pending remote frees"
         );
         let stride = hoard_mem::align_up(block_size as usize, 8) + HEADER_SIZE + extra;
@@ -286,52 +331,108 @@ impl Superblock {
         (*sb).owner.store(owner, Ordering::Release);
     }
 
+    /// Payload pointer of the block at slot `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock and `idx < capacity`.
+    pub unsafe fn idx_to_payload(sb: *mut Superblock, idx: u32) -> *mut u8 {
+        debug_assert!(idx < (*sb).capacity);
+        (sb as *mut u8)
+            .add(blocks_offset())
+            .add(idx as usize * (*sb).stride as usize + HEADER_SIZE)
+    }
+
+    /// Slot index of `payload` within this superblock.
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock and `payload` one of its blocks
+    /// ([`contains`](Self::contains)).
+    pub unsafe fn payload_to_idx(sb: *mut Superblock, payload: *mut u8) -> u32 {
+        let base = (sb as *mut u8).add(blocks_offset());
+        let off = (payload as usize) - (base as usize) - HEADER_SIZE;
+        debug_assert_eq!(off % (*sb).stride as usize, 0);
+        (off / (*sb).stride as usize) as u32
+    }
+
     /// Push a freed block onto the deferred remote-free stack without
-    /// taking any lock (Treiber push; the chain runs through each
-    /// payload's first word). The block stays accounted as allocated
-    /// until the owner drains it.
+    /// taking any lock: write the old head's index into the payload's
+    /// first word, then CAS the whole packed word (head, count+1,
+    /// tag+1). The block stays accounted as allocated until the owner
+    /// drains it. Returns the stack length *after* this push — the
+    /// lock-free back-end's drain-pressure signal.
     ///
     /// # Safety
     ///
     /// `payload` must be a live allocated block of this superblock that
     /// the caller relinquishes; no lock is required.
-    pub unsafe fn push_remote(sb: *mut Superblock, payload: *mut u8) {
-        let head = &(*sb).remote_head;
-        let mut cur = head.load(Ordering::Relaxed);
+    pub unsafe fn push_remote(sb: *mut Superblock, payload: *mut u8) -> u32 {
+        let idx = Self::payload_to_idx(sb, payload);
+        let word = &(*sb).remote;
+        let mut cur = word.load(Ordering::Relaxed);
         loop {
-            (payload as *mut *mut u8).write(cur);
+            (payload as *mut u64).write(remote_head_idx(cur) as u64);
+            let count = remote_word_count(cur) + 1;
+            let tag = (cur >> TAG_SHIFT).wrapping_add(1) & ((1u64 << (64 - TAG_SHIFT)) - 1);
+            let next = pack_remote(idx, count, tag);
             // Release publishes the link write (and the freeing thread's
             // poison/retag stores) to the draining owner.
-            match head.compare_exchange_weak(cur, payload, Ordering::Release, Ordering::Relaxed) {
-                Ok(_) => break,
+            match word.compare_exchange_weak(cur, next, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return count,
                 Err(actual) => cur = actual,
             }
         }
-        (*sb).remote_count.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Detach the whole deferred remote-free chain (or null). The caller
-    /// walks it via each payload's first word, freeing blocks under the
-    /// owner's lock, and finishes with [`note_drained`](Self::note_drained).
+    /// Detach the whole deferred remote-free chain in one exchange,
+    /// returning `(head payload or null, exact block count)`. The
+    /// caller walks the chain via [`remote_next`](Self::remote_next)
+    /// and may debit `u` by `count * block_size` *before* walking —
+    /// the count travels in the same word as the head, so it is exact.
     ///
     /// # Safety
     ///
-    /// Caller must hold the owning heap's lock (so drained blocks can be
-    /// pushed onto the guarded free list).
-    pub unsafe fn take_remote(sb: *mut Superblock) -> *mut u8 {
+    /// Caller must own the superblock (heap lock in the locked
+    /// back-end; slot claim or exclusivity-after-pop in the lock-free
+    /// one) so drained blocks can be pushed onto the free list.
+    pub unsafe fn take_remote(sb: *mut Superblock) -> (*mut u8, u32) {
         // Acquire pairs with the Release push: the chain's link words and
-        // the pushers' payload writes are visible.
-        (*sb).remote_head.swap(std::ptr::null_mut(), Ordering::Acquire)
+        // the pushers' payload writes are visible. An unconditional swap
+        // is immune to ABA — whatever chain is in the word, we own it.
+        let word = (*sb).remote.swap(REMOTE_EMPTY, Ordering::Acquire);
+        let head = remote_head_idx(word);
+        if head == NULL_IDX {
+            (std::ptr::null_mut(), 0)
+        } else {
+            (Self::idx_to_payload(sb, head), remote_word_count(word))
+        }
     }
 
-    /// Subtract `n` drained blocks from the pressure counter.
+    /// Follow the remote chain one link: the payload's first word holds
+    /// the next block's slot index (or [`NULL_IDX`]).
     ///
     /// # Safety
     ///
-    /// `sb` must be a live superblock; `n` must not exceed the number of
-    /// blocks actually detached via [`take_remote`](Self::take_remote).
-    pub unsafe fn note_drained(sb: *mut Superblock, n: u32) {
-        (*sb).remote_count.fetch_sub(n, Ordering::Relaxed);
+    /// `payload` must be a block detached via
+    /// [`take_remote`](Self::take_remote) whose link word is unclobbered.
+    pub unsafe fn remote_next(sb: *mut Superblock, payload: *mut u8) -> *mut u8 {
+        let next = (payload as *mut u64).read() as u32;
+        if next == NULL_IDX {
+            std::ptr::null_mut()
+        } else {
+            Self::idx_to_payload(sb, next)
+        }
+    }
+
+    /// Exact current length of the deferred remote-free stack
+    /// (lock-free peek; may be stale by the time the caller acts).
+    ///
+    /// # Safety
+    ///
+    /// `sb` must be a live superblock.
+    pub unsafe fn remote_len(sb: *mut Superblock) -> u32 {
+        remote_word_count((*sb).remote.load(Ordering::Relaxed))
     }
 
     /// Whether the deferred remote-free stack is non-empty (lock-free
@@ -341,7 +442,7 @@ impl Superblock {
     ///
     /// `sb` must be a live superblock.
     pub unsafe fn remote_pending(sb: *mut Superblock) -> bool {
-        !(*sb).remote_head.load(Ordering::Relaxed).is_null()
+        remote_head_idx((*sb).remote.load(Ordering::Relaxed)) != NULL_IDX
     }
 }
 
@@ -490,6 +591,21 @@ mod tests {
     }
 
     #[test]
+    fn packed_remote_word_roundtrips_fields() {
+        assert_eq!(remote_head_idx(REMOTE_EMPTY), NULL_IDX);
+        assert_eq!(remote_word_count(REMOTE_EMPTY), 0);
+        let w = pack_remote(42, 7, 0xABCDEF);
+        assert_eq!(remote_head_idx(w), 42);
+        assert_eq!(remote_word_count(w), 7);
+        assert_eq!(w >> TAG_SHIFT, 0xABCDEF);
+        // Extremes stay in their fields.
+        let w = pack_remote(NULL_IDX - 1, NULL_IDX - 1, (1 << 24) - 1);
+        assert_eq!(remote_head_idx(w), NULL_IDX - 1);
+        assert_eq!(remote_word_count(w), NULL_IDX - 1);
+        assert_eq!(w >> TAG_SHIFT, (1 << 24) - 1);
+    }
+
+    #[test]
     fn remote_stack_push_take_is_lifo_and_complete() {
         let c = Chunk::new();
         unsafe {
@@ -498,27 +614,35 @@ mod tests {
             let b = Superblock::alloc_block(sb);
             let d = Superblock::alloc_block(sb);
             assert!(!Superblock::remote_pending(sb));
-            Superblock::push_remote(sb, a);
-            Superblock::push_remote(sb, b);
-            Superblock::push_remote(sb, d);
+            assert_eq!(Superblock::push_remote(sb, a), 1);
+            assert_eq!(Superblock::push_remote(sb, b), 2);
+            assert_eq!(Superblock::push_remote(sb, d), 3);
             assert!(Superblock::remote_pending(sb));
-            assert_eq!((*sb).remote_count.load(Ordering::Relaxed), 3);
-            // Drain: LIFO chain d -> b -> a through payload words.
-            let mut cur = Superblock::take_remote(sb);
+            assert_eq!(Superblock::remote_len(sb), 3);
+            // Drain: one exchange yields the LIFO chain d -> b -> a and
+            // the exact count.
+            let (head, count) = Superblock::take_remote(sb);
+            assert_eq!(count, 3);
             let mut drained = Vec::new();
+            let mut cur = head;
             while !cur.is_null() {
-                let next = (cur as *mut *mut u8).read();
+                let next = Superblock::remote_next(sb, cur);
                 drained.push(cur);
                 cur = next;
             }
             assert_eq!(drained, vec![d, b, a]);
-            Superblock::note_drained(sb, drained.len() as u32);
-            assert_eq!((*sb).remote_count.load(Ordering::Relaxed), 0);
+            assert_eq!(Superblock::remote_len(sb), 0);
             assert!(!Superblock::remote_pending(sb));
             for p in drained {
                 Superblock::free_block(sb, p);
             }
             assert_eq!((*sb).in_use, 0);
+            // A drained stack accepts new pushes.
+            let e = Superblock::alloc_block(sb);
+            assert_eq!(Superblock::push_remote(sb, e), 1);
+            let (head, count) = Superblock::take_remote(sb);
+            assert_eq!((head, count), (e, 1));
+            Superblock::free_block(sb, e);
         }
     }
 
@@ -543,17 +667,32 @@ mod tests {
                     });
                 }
             });
-            assert_eq!((*sb).remote_count.load(Ordering::Relaxed), n as u32);
-            let mut cur = Superblock::take_remote(sb);
+            assert_eq!(Superblock::remote_len(sb), n as u32);
+            let (head, count) = Superblock::take_remote(sb);
+            assert_eq!(count, n as u32, "packed count is exact");
+            let mut cur = head;
             let mut seen = std::collections::HashSet::new();
             while !cur.is_null() {
-                let next = (cur as *mut *mut u8).read();
+                let next = Superblock::remote_next(sb, cur);
                 assert!(seen.insert(cur as usize), "block pushed twice");
                 Superblock::free_block(sb, cur);
                 cur = next;
             }
             assert_eq!(seen.len(), n, "no pushes lost under contention");
             assert_eq!((*sb).in_use, 0);
+        }
+    }
+
+    #[test]
+    fn idx_payload_roundtrip() {
+        let c = Chunk::new();
+        unsafe {
+            let sb = Superblock::init(c.0, S, 0, 16, 1, 0);
+            for _ in 0..8 {
+                let p = Superblock::alloc_block(sb);
+                let idx = Superblock::payload_to_idx(sb, p);
+                assert_eq!(Superblock::idx_to_payload(sb, idx), p);
+            }
         }
     }
 

@@ -1,29 +1,41 @@
 //! `hoardscope` — analyze allocator telemetry traces.
 //!
 //! ```text
-//! hoardscope --demo [--threads N] [--quick]   # traced larson, report
+//! hoardscope --demo [--threads N] [--quick] [--lockfree]
 //! hoardscope --demo --trace out.json          # also save the native trace
 //! hoardscope --demo --chrome out.trace.json   # also save Chrome/Perfetto JSON
+//! hoardscope --gate BUDGET [--threads N] [--quick]
 //! hoardscope FILE                             # report on a saved native trace
 //! ```
+//!
+//! `--demo` runs traced larson and prints the full report; `--lockfree`
+//! switches the allocator to the lock-free back-end.
+//!
+//! `--gate` is the CI contention gate: it runs larson on both back-ends,
+//! prints each lock ranking, and exits nonzero if the lock-free run's
+//! heap-lock acquisitions exceed `BUDGET` (the checked-in budget lives
+//! in `ci/contention_budget.txt`).
 //!
 //! The Chrome export loads in `chrome://tracing` or
 //! <https://ui.perfetto.dev> — one track per virtual processor, lock
 //! holds as duration slices, everything else as instants.
 
-use hoard_core::{chrome_trace_json, TraceLog};
-use hoard_harness::{scope_report, traced_larson};
+use hoard_core::{chrome_trace_json, HoardConfig, TraceLog};
+use hoard_harness::{heap_lock_acquisitions, lock_table, scope_report, traced_larson_with};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--demo") {
+    if args.iter().any(|a| a == "--gate") {
+        gate(&args);
+    } else if args.iter().any(|a| a == "--demo") {
         demo(&args);
     } else if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
         from_file(path);
     } else {
         eprintln!(
-            "usage: hoardscope --demo [--threads N] [--quick] \
+            "usage: hoardscope --demo [--threads N] [--quick] [--lockfree] \
              [--trace FILE] [--chrome FILE]\n       \
+             hoardscope --gate BUDGET [--threads N] [--quick]\n       \
              hoardscope FILE"
         );
         std::process::exit(2);
@@ -34,12 +46,21 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
 }
 
-fn demo(args: &[String]) {
-    let threads: usize = flag_value(args, "--threads")
+fn threads_arg(args: &[String], default: usize) -> usize {
+    flag_value(args, "--threads")
         .map(|v| v.parse().expect("--threads takes a number"))
-        .unwrap_or(4);
+        .unwrap_or(default)
+}
+
+fn demo(args: &[String]) {
+    let threads = threads_arg(args, 4);
     let quick = args.iter().any(|a| a == "--quick");
-    let run = traced_larson(threads, quick);
+    let config = if args.iter().any(|a| a == "--lockfree") {
+        HoardConfig::with_lockfree()
+    } else {
+        HoardConfig::with_default_magazines()
+    };
+    let run = traced_larson_with(config, threads, quick);
     eprintln!(
         "traced larson: {} threads, makespan {}, {} events",
         threads,
@@ -55,6 +76,37 @@ fn demo(args: &[String]) {
         eprintln!("wrote Chrome/Perfetto trace to {path} (open in ui.perfetto.dev)");
     }
     println!("{}", scope_report(&run.log, Some(&run.metrics)));
+}
+
+fn gate(args: &[String]) {
+    let budget: u64 = flag_value(args, "--gate")
+        .map(|v| v.parse().expect("--gate takes a heap-lock acquisition budget"))
+        .expect("--gate requires a budget argument");
+    let threads = threads_arg(args, 14);
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let locked = traced_larson_with(HoardConfig::with_default_magazines(), threads, quick);
+    let lockfree = traced_larson_with(HoardConfig::with_lockfree(), threads, quick);
+    let locked_acqs = heap_lock_acquisitions(&locked.log);
+    let lockfree_acqs = heap_lock_acquisitions(&lockfree.log);
+
+    println!("== locked back-end (larson, {threads} threads) ==");
+    println!("{}", lock_table(&locked.log).render());
+    println!("== lock-free back-end (larson, {threads} threads) ==");
+    println!("{}", lock_table(&lockfree.log).render());
+    println!(
+        "heap-lock acquisitions: locked={locked_acqs} lockfree={lockfree_acqs} \
+         budget={budget} makespans: locked={} lockfree={}",
+        locked.makespan, lockfree.makespan
+    );
+    if lockfree_acqs > budget {
+        eprintln!(
+            "contention gate FAILED: lock-free back-end took {lockfree_acqs} \
+             heap-lock acquisitions, budget is {budget}"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("contention gate passed: {lockfree_acqs} <= {budget}");
 }
 
 fn from_file(path: &str) {

@@ -16,6 +16,9 @@
 //!    P ∈ {1, 8, 14}, plain Hoard vs magazines, as makespans and ratios.
 //! 3. **Front-end telemetry** — the `MagazineStats` counters for one
 //!    representative producer–consumer run.
+//! 4. **Slow-path storm** — the `storm` workload (refill/flush/transfer
+//!    ping-pong) at P ∈ {8, 14}, locked magazines vs the lock-free
+//!    back-end: makespans plus the back-end traffic counters.
 
 use hoard_core::{HoardAllocator, HoardConfig};
 use hoard_harness::Table;
@@ -33,6 +36,7 @@ fn main() {
         lock_bypass_table(scale),
         speedup_table(scale),
         telemetry_table(scale),
+        storm_table(scale),
     ] {
         println!("{}", table.render());
     }
@@ -44,6 +48,10 @@ fn hoard_plain() -> HoardAllocator {
 
 fn hoard_mag() -> HoardAllocator {
     HoardAllocator::with_config(HoardConfig::with_default_magazines()).expect("valid config")
+}
+
+fn hoard_lockfree() -> HoardAllocator {
+    HoardAllocator::with_config(HoardConfig::with_lockfree()).expect("valid config")
 }
 
 /// Run `ops` pair-churn iterations (allocate then free immediately).
@@ -277,5 +285,65 @@ fn telemetry_table(scale: u64) -> Table {
     t.push_row(row("heap-lock contended", &|c| c.lock_contended));
     t.push_row(row("live at end", &|c| c.snap.live_current));
     t.push_note("remote pushes are foreign frees deferred without a lock");
+    t
+}
+
+fn storm_table(scale: u64) -> Table {
+    // Scale rounds with the global knob; batch stays fixed so each
+    // round still overflows the magazines.
+    let params = wl::storm::Params {
+        rounds: (scale / 2_000).clamp(4, 40) as usize,
+        ..Default::default()
+    };
+    let mut t = Table::new(
+        "backend-storm",
+        "MAGBENCH: slow-path storm (refill/flush/transfer ping-pong), locked vs lock-free back-end",
+        vec![
+            "P".into(),
+            "allocator".into(),
+            "makespan".into(),
+            "ratio".into(),
+            "lock acqs".into(),
+            "contended".into(),
+            "to-global".into(),
+            "from-global".into(),
+            "remote pushes".into(),
+            "remote drains".into(),
+        ],
+    );
+    // Median-of-5 makespans (multi-threaded runs are bimodal, see
+    // speedup_table); counters from a fresh representative run.
+    let run_cell = |mk: fn() -> HoardAllocator, p: usize| -> (u64, Probe) {
+        let mut xs: Vec<u64> = (0..5)
+            .map(|_| wl::storm::run(&mk(), p, &params).makespan)
+            .collect();
+        xs.sort_unstable();
+        (xs[2], probe(&mk(), |h| {
+            wl::storm::run(h, p, &params);
+        }))
+    };
+    for p in [8usize, 14] {
+        let (mag_mk, mag) = run_cell(hoard_mag, p);
+        let (lf_mk, lf) = run_cell(hoard_lockfree, p);
+        for (label, mk, pr, ratio) in [
+            ("hoard-mag", mag_mk, &mag, 1.0),
+            ("hoard-lockfree", lf_mk, &lf, mag_mk as f64 / lf_mk.max(1) as f64),
+        ] {
+            t.push_row(vec![
+                p.to_string(),
+                label.into(),
+                mk.to_string(),
+                format!("{ratio:.2}x"),
+                pr.lock_acqs.to_string(),
+                pr.lock_contended.to_string(),
+                pr.snap.transfers_to_global.to_string(),
+                pr.snap.transfers_from_global.to_string(),
+                pr.snap.magazines.remote_pushes.to_string(),
+                pr.snap.magazines.remote_drains.to_string(),
+            ]);
+        }
+    }
+    t.push_note("ratio > 1.00x means the lock-free back-end is faster");
+    t.push_note("fresh allocator per cell; median-of-5 makespans; counters from one representative run");
     t
 }

@@ -31,8 +31,8 @@ mod table;
 pub use experiments::{all_experiments, experiment_by_id, Experiment, RunOptions};
 pub use factory::AllocatorKind;
 pub use scope::{
-    class_table, event_summary, lock_table, metrics_table, scope_report, traced_larson,
-    transfer_table, ScopeRun,
+    class_table, event_summary, heap_lock_acquisitions, lock_table, metrics_table, scope_report,
+    traced_larson, traced_larson_with, transfer_table, ScopeRun,
 };
 pub use speedup::{run_speedup, SpeedupPoint, SpeedupSeries};
 pub use summary::{markdown_report, summarize_speedup, CurveSummary, Shape};

@@ -62,9 +62,19 @@ pub enum Cost {
     /// time; tracing-on overhead stays small but *visible*, the honest
     /// way to model an always-on profiler.
     TraceEvent,
+    /// One atomic read-modify-write on a potentially shared cache line
+    /// (a CAS or exchange on a Treiber-stack head, a packed remote-free
+    /// word, or a shared counter). Costlier than a private cache hit,
+    /// cheaper than a lock handoff — and, crucially, it never extends
+    /// anyone else's critical section.
+    AtomicRmw,
+    /// Deriving a block's superblock by masking the pointer's low bits
+    /// (one AND plus a validation probe on warm metadata) — the
+    /// lock-free back-end's replacement for the header-chase lookup.
+    MaskLookup,
 }
 
-const N_COSTS: usize = 15;
+const N_COSTS: usize = 17;
 
 fn index(cost: Cost) -> usize {
     match cost {
@@ -83,6 +93,8 @@ fn index(cost: Cost) -> usize {
         Cost::MagazineOp => 12,
         Cost::RemoteFreePush => 13,
         Cost::TraceEvent => 14,
+        Cost::AtomicRmw => 15,
+        Cost::MaskLookup => 16,
     }
 }
 
@@ -107,6 +119,10 @@ pub struct CostModel {
     pub remote_free_push: u64,
     #[serde(default)]
     pub trace_event: u64,
+    #[serde(default)]
+    pub atomic_rmw: u64,
+    #[serde(default)]
+    pub mask_lookup: u64,
 }
 
 impl Default for CostModel {
@@ -138,6 +154,15 @@ impl Default for CostModel {
             // small so the perturbation stays well under the events it
             // observes.
             trace_event: 1,
+            // A CAS/exchange on a line other processors also touch:
+            // dearer than an uncontended acquire because the line is
+            // often in a remote cache, but far below a lock handoff —
+            // the losing CAS retries, it never blocks the winner.
+            atomic_rmw: 40,
+            // One AND plus a bounds probe on warm metadata; about a
+            // cache hit, and strictly cheaper than chasing the per-block
+            // header line it replaces.
+            mask_lookup: 2,
         }
     }
 }
@@ -181,6 +206,8 @@ impl CostModel {
             magazine_op: unit,
             remote_free_push: unit,
             trace_event: unit,
+            atomic_rmw: unit,
+            mask_lookup: unit,
         }
     }
 
@@ -202,6 +229,8 @@ impl CostModel {
             Cost::MagazineOp => self.magazine_op,
             Cost::RemoteFreePush => self.remote_free_push,
             Cost::TraceEvent => self.trace_event,
+            Cost::AtomicRmw => self.atomic_rmw,
+            Cost::MaskLookup => self.mask_lookup,
         }
     }
 
@@ -234,6 +263,8 @@ impl CostModel {
             magazine_op: get(Cost::MagazineOp),
             remote_free_push: get(Cost::RemoteFreePush),
             trace_event: get(Cost::TraceEvent),
+            atomic_rmw: get(Cost::AtomicRmw),
+            mask_lookup: get(Cost::MaskLookup),
         }
     }
 }
@@ -254,6 +285,8 @@ const ALL: [Cost; N_COSTS] = [
     Cost::MagazineOp,
     Cost::RemoteFreePush,
     Cost::TraceEvent,
+    Cost::AtomicRmw,
+    Cost::MaskLookup,
 ];
 
 static GLOBAL: [AtomicU64; N_COSTS] = {
@@ -273,6 +306,8 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         magazine_op: 6,
         remote_free_push: 60,
         trace_event: 1,
+        atomic_rmw: 40,
+        mask_lookup: 2,
     };
     [
         AtomicU64::new(D.malloc_fast),
@@ -290,6 +325,8 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         AtomicU64::new(D.magazine_op),
         AtomicU64::new(D.remote_free_push),
         AtomicU64::new(D.trace_event),
+        AtomicU64::new(D.atomic_rmw),
+        AtomicU64::new(D.mask_lookup),
     ]
 };
 
@@ -354,5 +391,17 @@ mod tests {
         // more than uncontended acquisitions.
         let m = CostModel::default();
         assert!(m.lock_handoff > m.lock_acquire + m.lock_release);
+    }
+
+    #[test]
+    fn lockfree_costs_sit_between_hit_and_handoff() {
+        // The lock-free back-end only wins if its primitives undercut
+        // the locked protocol they replace: a CAS must be cheaper than
+        // a lock handoff, and a mask lookup cheaper than the remote
+        // header-line chase it removes.
+        let m = CostModel::default();
+        assert!(m.atomic_rmw > m.cache_hit);
+        assert!(m.atomic_rmw < m.lock_handoff);
+        assert!(m.mask_lookup <= m.cache_hit);
     }
 }

@@ -70,6 +70,10 @@ pub enum EventKind {
     /// OOM recovery reclaimed cached empty superblocks.
     /// `arg0` = heap index scanned from, `arg1` = chunks reclaimed.
     OomReclaim,
+    /// A poisoned mutex (a thread panicked while holding it) was
+    /// recovered by the poisoning-tolerant accessor.
+    /// `arg0` = 0, `arg1` = 0.
+    LockPoisoned,
 }
 
 impl EventKind {
@@ -93,6 +97,7 @@ impl EventKind {
             EventKind::LockRelease => "lock.release",
             EventKind::Corruption => "corruption",
             EventKind::OomReclaim => "oom.reclaim",
+            EventKind::LockPoisoned => "lock.poisoned",
         }
     }
 
@@ -102,7 +107,7 @@ impl EventKind {
     }
 
     /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Alloc,
         EventKind::AllocMagazine,
         EventKind::AllocLarge,
@@ -120,6 +125,7 @@ impl EventKind {
         EventKind::LockRelease,
         EventKind::Corruption,
         EventKind::OomReclaim,
+        EventKind::LockPoisoned,
     ];
 
     /// Chrome-trace category for the kind (groups tracks of related
@@ -136,7 +142,7 @@ impl EventKind {
             | EventKind::TransferFromGlobal
             | EventKind::EmptinessCross => "transfer",
             EventKind::LockAcquire | EventKind::LockRelease => "lock",
-            EventKind::Corruption | EventKind::OomReclaim => "hardening",
+            EventKind::Corruption | EventKind::OomReclaim | EventKind::LockPoisoned => "hardening",
         }
     }
 
@@ -159,6 +165,7 @@ impl EventKind {
             EventKind::LockRelease => ("heap", "held"),
             EventKind::Corruption => ("kind", "zero"),
             EventKind::OomReclaim => ("heap", "chunks"),
+            EventKind::LockPoisoned => ("zero", "zero"),
         }
     }
 }

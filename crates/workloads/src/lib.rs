@@ -15,6 +15,8 @@
 //!   paper's Sections 2–3;
 //! * [`prod_cons`] — sustained producer–consumer throughput (the stress
 //!   test for foreign frees and the deferred remote-free protocol);
+//! * [`storm`] — slow-path stress: batch bursts past the magazines with
+//!   ring-bled foreign frees (refill/flush/transfer ping-pong);
 //! * [`barnes_hut`] — an n-body Barnes–Hut simulation (little allocator
 //!   pressure; every allocator should scale);
 //! * [`bem_like`] — a phase-structured solver allocation pattern standing
@@ -36,6 +38,7 @@ pub mod false_sharing;
 pub mod larson;
 pub mod prod_cons;
 pub mod shbench;
+pub mod storm;
 pub mod threadtest;
 
 pub use meter::LiveMeter;
