@@ -259,6 +259,9 @@ const SLOT_TOMB: usize = 1;
 pub(crate) struct SuperblockRegistry {
     slots: [AtomicUsize; REGISTRY_CAP],
     overflowed: AtomicBool,
+    /// Live entries (inserts minus removes of present addresses) — the
+    /// occupancy gauge surfaced through `MetricsSnapshot::registry`.
+    occupancy: AtomicUsize,
 }
 
 impl SuperblockRegistry {
@@ -266,6 +269,7 @@ impl SuperblockRegistry {
         SuperblockRegistry {
             slots: [const { AtomicUsize::new(SLOT_EMPTY) }; REGISTRY_CAP],
             overflowed: AtomicBool::new(false),
+            occupancy: AtomicUsize::new(0),
         }
     }
 
@@ -292,6 +296,7 @@ impl SuperblockRegistry {
                     .compare_exchange(cur, addr, Ordering::Release, Relaxed)
                     .is_ok()
                 {
+                    self.occupancy.fetch_add(1, Relaxed);
                     return true;
                 }
                 // Lost the slot to a concurrent insert; keep probing.
@@ -310,6 +315,7 @@ impl SuperblockRegistry {
             match slot.load(Relaxed) {
                 a if a == addr => {
                     slot.store(SLOT_TOMB, Relaxed);
+                    self.occupancy.fetch_sub(1, Relaxed);
                     return true;
                 }
                 SLOT_EMPTY => return false,
@@ -343,6 +349,17 @@ impl SuperblockRegistry {
     /// absence from the registry no longer proves a pointer foreign.
     pub(crate) fn overflowed(&self) -> bool {
         self.overflowed.load(Ordering::Acquire)
+    }
+
+    /// Live entries right now (exact only at quiescent points, like
+    /// every other gauge).
+    pub(crate) fn occupancy(&self) -> usize {
+        self.occupancy.load(Relaxed)
+    }
+
+    /// Slot capacity of the fixed table.
+    pub(crate) const fn capacity(&self) -> usize {
+        REGISTRY_CAP
     }
 }
 
@@ -526,6 +543,20 @@ mod tests {
             assert!(reg.contains(a));
         }
         assert!(!reg.overflowed());
+    }
+
+    #[test]
+    fn registry_occupancy_tracks_live_entries() {
+        let reg = SuperblockRegistry::new();
+        assert_eq!(reg.occupancy(), 0);
+        assert_eq!(reg.capacity(), REGISTRY_CAP);
+        reg.insert(0x10_0000);
+        reg.insert(0x20_0000);
+        assert_eq!(reg.occupancy(), 2);
+        reg.remove(0x10_0000);
+        assert_eq!(reg.occupancy(), 1);
+        reg.remove(0x10_0000); // absent: no change
+        assert_eq!(reg.occupancy(), 1);
     }
 
     #[test]

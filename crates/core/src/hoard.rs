@@ -40,7 +40,7 @@ use hoard_mem::{
     HeaderWord, MtAllocator, SizeClassTable, SystemSource, Tag,
 };
 use hoard_sim::{charge_cost, current_proc, now, Cost, VLockGuard};
-use hoard_trace::{EventKind, MetricsRegistry, MetricsSnapshot, TraceSink};
+use hoard_trace::{EventKind, MetricsRegistry, MetricsSnapshot, TraceSink, TrcRecorder};
 use std::alloc::Layout;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::Acquire, Ordering::Release};
@@ -184,6 +184,12 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     /// Attachable metrics registry (null = metering off); same
     /// lifecycle and gating contract as `tracer`.
     metrics: AtomicPtr<MetricsRegistry>,
+    /// Attachable `.trc` capture device (null = recording off); same
+    /// lifecycle and gating contract as `tracer`. Unlike the
+    /// address-free event tracer, the recorder captures the replayable
+    /// stream — sizes, pointer tokens, per-proc program order — that
+    /// `hoardscope record` writes to disk.
+    recorder: AtomicPtr<TrcRecorder>,
 }
 
 impl HoardAllocator<SystemSource> {
@@ -227,6 +233,7 @@ impl HoardAllocator<SystemSource> {
             registry: SuperblockRegistry::new(),
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
+            recorder: AtomicPtr::new(std::ptr::null_mut()),
         }
     }
 }
@@ -254,6 +261,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             registry: SuperblockRegistry::new(),
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
+            recorder: AtomicPtr::new(std::ptr::null_mut()),
         })
     }
 
@@ -334,6 +342,21 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         MetricsRegistry::new(self.config.heap_count + 1, self.classes.len())
     }
 
+    /// Install a `.trc` capture device; every subsequent successful
+    /// `allocate` and every `deallocate` is recorded (size, pointer
+    /// token, emitting proc, virtual timestamp), each charged
+    /// [`Cost::TraceEvent`] like the event tracer. Same lifecycle
+    /// contract as [`attach_tracer`] — attach and detach only at
+    /// quiescent points.
+    ///
+    /// [`attach_tracer`]: HoardAllocator::attach_tracer
+    pub fn attach_recorder(&self, rec: Arc<TrcRecorder>) {
+        let old = self.recorder.swap(Arc::into_raw(rec).cast_mut(), Release);
+        if !old.is_null() {
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+    }
+
     /// Snapshot the attached metrics registry, first refreshing its
     /// hardening gauges from the corruption log and OOM-recovery
     /// counters. `None` when no registry is attached.
@@ -345,6 +368,11 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             self.log.quarantined(),
             rec.chunk_reclaims,
             rec.rescued_allocations,
+        );
+        m.set_registry(
+            self.registry.occupancy() as u64,
+            self.registry.capacity() as u64,
+            self.registry.overflowed(),
         );
         Some(m.snapshot())
     }
@@ -365,6 +393,17 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     #[inline]
     fn metrics_ref(&self) -> Option<&MetricsRegistry> {
         let p = self.metrics.load(Acquire);
+        // Safety: as for `tracer_ref`.
+        if p.is_null() {
+            None
+        } else {
+            Some(unsafe { &*p })
+        }
+    }
+
+    #[inline]
+    fn recorder_ref(&self) -> Option<&TrcRecorder> {
+        let p = self.recorder.load(Acquire);
         // Safety: as for `tracer_ref`.
         if p.is_null() {
             None
@@ -2134,6 +2173,50 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
     }
 
     unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
+        let p = self.allocate_impl(size);
+        // Recorded after the allocation so the token maps a pointer no
+        // other thread can race on (the caller owns it exclusively).
+        if let Some(p) = p {
+            if let Some(r) = self.recorder_ref() {
+                r.record_alloc(p.as_ptr() as usize, size);
+            }
+        }
+        p
+    }
+
+    unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+        // Recorded before the free: once the block is back on a free
+        // list another proc may re-allocate the same address, and the
+        // token map must retire this token first.
+        if let Some(r) = self.recorder_ref() {
+            r.record_free(ptr.as_ptr() as usize);
+        }
+        self.deallocate_impl(ptr);
+    }
+
+    fn stats(&self) -> AllocSnapshot {
+        self.stats.snapshot().with_source(self.source.stats())
+    }
+
+    unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
+        let header = read_header(ptr.as_ptr());
+        match header.tag {
+            Tag::Superblock => (*(header.value as *mut Superblock)).block_size as usize,
+            Tag::Large => large::large_size(header.value),
+            Tag::Freed => unreachable!("usable_size of a freed pointer"),
+            Tag::Baseline | Tag::Offset => unreachable!("pointer was not allocated by Hoard"),
+        }
+    }
+}
+
+impl<Src: ChunkSource> HoardAllocator<Src> {
+    /// The allocation path behind [`MtAllocator::allocate`]; the trait
+    /// method wraps it with the (usually detached) `.trc` recorder.
+    ///
+    /// # Safety
+    ///
+    /// As for [`MtAllocator::allocate`].
+    unsafe fn allocate_impl(&self, size: usize) -> Option<NonNull<u8>> {
         debug_assert!(size > 0, "allocate(0)");
         let class_for_size = self.classes.index_for(size);
         if let Some(class) = class_for_size {
@@ -2168,7 +2251,13 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
         }
     }
 
-    unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+    /// The deallocation path behind [`MtAllocator::deallocate`]; the
+    /// trait method wraps it with the recorder.
+    ///
+    /// # Safety
+    ///
+    /// As for [`MtAllocator::deallocate`].
+    unsafe fn deallocate_impl(&self, ptr: NonNull<u8>) {
         charge_cost(Cost::FreeFast);
         if self.config.hardening.detects() {
             self.deallocate_hardened(ptr);
@@ -2214,20 +2303,6 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
             }
         }
     }
-
-    fn stats(&self) -> AllocSnapshot {
-        self.stats.snapshot().with_source(self.source.stats())
-    }
-
-    unsafe fn usable_size(&self, ptr: NonNull<u8>) -> usize {
-        let header = read_header(ptr.as_ptr());
-        match header.tag {
-            Tag::Superblock => (*(header.value as *mut Superblock)).block_size as usize,
-            Tag::Large => large::large_size(header.value),
-            Tag::Freed => unreachable!("usable_size of a freed pointer"),
-            Tag::Baseline | Tag::Offset => unreachable!("pointer was not allocated by Hoard"),
-        }
-    }
 }
 
 // Safety: all superblock state is guarded by per-heap locks; the raw
@@ -2249,6 +2324,10 @@ impl<Src: ChunkSource> Drop for HoardAllocator<Src> {
         let m = self.metrics.swap(std::ptr::null_mut(), Relaxed);
         if !m.is_null() {
             unsafe { drop(Arc::from_raw(m)) };
+        }
+        let r = self.recorder.swap(std::ptr::null_mut(), Relaxed);
+        if !r.is_null() {
+            unsafe { drop(Arc::from_raw(r)) };
         }
         for heap in self.heaps.iter() {
             unsafe {

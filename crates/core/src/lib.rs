@@ -60,7 +60,8 @@ pub use hoard_mem::{SizeClass, SizeClassTable, MAX_CLASSES};
 // and tests attach tracers/registries without naming hoard-trace.
 pub use hoard_trace::{
     chrome_trace_json, jsonio, Event, EventKind, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, TraceConfig, TraceLog, TraceSink, TrackLog, CHROME_PID,
+    MetricsSnapshot, RecorderStats, RegistryMetrics, TraceConfig, TraceLog, TraceSink, TrackLog,
+    TrcError, TrcOp, TrcReader, TrcRecord, TrcRecorder, TrcTrace, TrcWriter, CHROME_PID,
 };
 
 /// Maximum number of per-processor heaps supported (compile-time bound

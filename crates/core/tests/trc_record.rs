@@ -1,0 +1,78 @@
+//! Golden-fixture test for the recorder: a fixed-seed, single-proc
+//! allocation sequence captured through [`TrcRecorder`] must encode to
+//! the exact bytes checked in at `crates/trace/tests/fixtures/golden.trc`.
+//!
+//! This pins three things at once: the `.trc` wire format (any codec
+//! change shows up as a byte diff), the recorder's token assignment
+//! (first-touch dense numbering, independent of ASLR), and the virtual
+//! timestamps (the deterministic cost model, including the cache-line
+//! renaming that hides host address recycling).
+//!
+//! To bless a new fixture after an *intentional* format or cost-model
+//! change:
+//!
+//! ```text
+//! TRC_BLESS=1 cargo test -p hoard-core --test trc_record
+//! ```
+//!
+//! and describe the migration in DESIGN.md §12.
+
+use hoard_core::{HoardAllocator, HoardConfig, TrcRecorder};
+use hoard_mem::MtAllocator;
+use std::sync::Arc;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../trace/tests/fixtures/golden.trc"
+);
+
+/// The fixed workload: small classes across the size table, staggered
+/// frees to force magazine flushes and superblock churn, and one large
+/// (>4 KiB) allocation that takes the chunk-source path.
+fn golden_capture() -> Vec<u8> {
+    hoard_sim::sequential_scope(1, || {
+        hoard_sim::switch_context(0, 0);
+        let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+        let rec = Arc::new(TrcRecorder::new(42, "golden single-proc", 1));
+        h.attach_recorder(rec.clone());
+        unsafe {
+            let mut live = Vec::new();
+            for i in 0..64usize {
+                let size = [8, 24, 64, 200, 1024, 3000][i % 6];
+                live.push(h.allocate(size).expect("golden workload oom"));
+                if i % 3 == 2 {
+                    let p = live.remove(0);
+                    h.deallocate(p);
+                }
+            }
+            let big = h.allocate(16 * 1024).expect("large path oom");
+            h.deallocate(big);
+            for p in live {
+                h.deallocate(p);
+            }
+        }
+        rec.trace().encode()
+    })
+}
+
+#[test]
+fn recorder_output_matches_golden_fixture() {
+    let bytes = golden_capture();
+    if std::env::var_os("TRC_BLESS").is_some() {
+        std::fs::write(FIXTURE, &bytes).expect("write fixture");
+        eprintln!("blessed {} ({} bytes)", FIXTURE, bytes.len());
+        return;
+    }
+    let golden =
+        std::fs::read(FIXTURE).expect("fixture missing — bless with TRC_BLESS=1 (see module doc)");
+    assert_eq!(
+        bytes, golden,
+        "recorder output diverged from the golden fixture; if the format \
+         or cost model changed intentionally, re-bless with TRC_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_capture_is_reproducible_in_process() {
+    assert_eq!(golden_capture(), golden_capture());
+}

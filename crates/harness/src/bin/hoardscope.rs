@@ -6,6 +6,11 @@
 //! hoardscope --demo --chrome out.trace.json   # also save Chrome/Perfetto JSON
 //! hoardscope --gate BUDGET [--threads N] [--quick]
 //! hoardscope FILE                             # report on a saved native trace
+//!
+//! hoardscope trc record WORKLOAD OUT.trc [--threads N] [--quick] [--lockfree]
+//! hoardscope trc replay FILE.trc [--lockfree] [--twice]
+//! hoardscope trc gen OUT.trc [--sessions N] [--workers N] [--seed S]
+//! hoardscope trc report FILE.trc [--lockfree] [--json OUT]
 //! ```
 //!
 //! `--demo` runs traced larson and prints the full report; `--lockfree`
@@ -16,30 +21,207 @@
 //! heap-lock acquisitions exceed `BUDGET` (the checked-in budget lives
 //! in `ci/contention_budget.txt`).
 //!
+//! The `trc` subcommands drive the binary `.trc` allocation-trace
+//! pipeline: `record` captures a named workload (threadtest|larson)
+//! and prints the capture's virtual-time overhead, `replay` re-executes
+//! a capture against a fresh allocator and prints the determinism
+//! digest (`--twice` replays twice and fails on any divergence), `gen`
+//! synthesizes server-shaped traffic, and `report` scores a replay as
+//! JSON. The `trc` prefix is optional — `hoardscope record …` works
+//! too.
+//!
 //! The Chrome export loads in `chrome://tracing` or
 //! <https://ui.perfetto.dev> — one track per virtual processor, lock
 //! holds as duration slices, everything else as instants.
 
-use hoard_core::{chrome_trace_json, HoardConfig, TraceLog};
-use hoard_harness::{heap_lock_acquisitions, lock_table, scope_report, traced_larson_with};
+use hoard_core::{chrome_trace_json, HoardConfig, TraceLog, TrcTrace};
+use hoard_harness::{
+    heap_lock_acquisitions, lock_table, record_workload, replay_trc, report_for, scope_report,
+    traced_larson_with,
+};
+use hoard_workloads::server_traffic;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--gate") {
-        gate(&args);
-    } else if args.iter().any(|a| a == "--demo") {
-        demo(&args);
-    } else if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
-        from_file(path);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trc") {
+        args.remove(0);
+    }
+    match args.first().map(String::as_str) {
+        Some("record") => trc_record(&args[1..]),
+        Some("replay") => trc_replay(&args[1..]),
+        Some("gen") => trc_gen(&args[1..]),
+        Some("report") => trc_report(&args[1..]),
+        _ if args.iter().any(|a| a == "--gate") => gate(&args),
+        _ if args.iter().any(|a| a == "--demo") => demo(&args),
+        Some(path) if !path.starts_with("--") => from_file(path),
+        _ => {
+            eprintln!(
+                "usage: hoardscope --demo [--threads N] [--quick] [--lockfree] \
+                 [--trace FILE] [--chrome FILE]\n       \
+                 hoardscope --gate BUDGET [--threads N] [--quick]\n       \
+                 hoardscope FILE\n       \
+                 hoardscope [trc] record WORKLOAD OUT.trc [--threads N] [--quick] [--lockfree]\n       \
+                 hoardscope [trc] replay FILE.trc [--lockfree] [--twice]\n       \
+                 hoardscope [trc] gen OUT.trc [--sessions N] [--workers N] [--seed S]\n       \
+                 hoardscope [trc] report FILE.trc [--lockfree] [--json OUT]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn hoard_config(args: &[String]) -> HoardConfig {
+    if args.iter().any(|a| a == "--lockfree") {
+        HoardConfig::with_lockfree()
     } else {
-        eprintln!(
-            "usage: hoardscope --demo [--threads N] [--quick] [--lockfree] \
-             [--trace FILE] [--chrome FILE]\n       \
-             hoardscope --gate BUDGET [--threads N] [--quick]\n       \
-             hoardscope FILE"
-        );
+        HoardConfig::with_default_magazines()
+    }
+}
+
+/// Positional (non-flag) arguments, skipping the values of value-taking
+/// flags.
+fn positionals(args: &[String]) -> Vec<&String> {
+    const VALUE_FLAGS: [&str; 6] = [
+        "--threads", "--seed", "--sessions", "--workers", "--json", "--gate",
+    ];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+        } else if a.starts_with("--") {
+            skip = VALUE_FLAGS.contains(&a.as_str());
+        } else {
+            out.push(a);
+        }
+    }
+    out
+}
+
+fn load_trc(path: &str) -> TrcTrace {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    TrcTrace::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path} is not a valid .trc capture: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn trc_record(args: &[String]) {
+    let pos = positionals(args);
+    let [workload, out] = pos[..] else {
+        eprintln!("usage: hoardscope trc record WORKLOAD OUT.trc (threadtest|larson)");
+        std::process::exit(2);
+    };
+    if !matches!(workload.as_str(), "threadtest" | "larson") {
+        eprintln!("recordable workloads are threadtest|larson, got {workload:?}");
         std::process::exit(2);
     }
+    let threads = threads_arg(args, 4);
+    let quick = args.iter().any(|a| a == "--quick");
+    let rec = record_workload(workload, hoard_config(args), threads, quick);
+    std::fs::write(out, rec.trc.encode()).expect("write .trc");
+    eprintln!(
+        "recorded {workload} P={threads}: {} records ({} allocs, {} frees, {} spilled) -> {out}",
+        rec.trc.len(),
+        rec.stats.allocs,
+        rec.stats.frees,
+        rec.stats.spilled,
+    );
+    println!(
+        "makespan plain={} recorded={} overhead={:.2}%",
+        rec.plain_makespan,
+        rec.recorded_makespan,
+        rec.overhead_pct()
+    );
+}
+
+fn trc_replay(args: &[String]) {
+    let pos = positionals(args);
+    let [path] = pos[..] else {
+        eprintln!("usage: hoardscope trc replay FILE.trc [--lockfree] [--twice]");
+        std::process::exit(2);
+    };
+    let trc = load_trc(path);
+    let out = replay_trc(&trc, hoard_config(args)).unwrap_or_else(|e| {
+        eprintln!("cannot replay {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "replayed {path}: {} streams, {} records, makespan {}, {} allocs, live_peak {}",
+        trc.streams.len(),
+        trc.len(),
+        out.result.makespan,
+        out.result.snapshot.allocs,
+        out.result.snapshot.live_peak,
+    );
+    if args.iter().any(|a| a == "--twice") {
+        let again = replay_trc(&trc, hoard_config(args)).expect("second replay");
+        if again.digest != out.digest {
+            eprintln!(
+                "replay NONDETERMINISTIC: digest {:016x} != {:016x}",
+                out.digest, again.digest
+            );
+            std::process::exit(1);
+        }
+        eprintln!("second replay agreed");
+    }
+    println!("digest {:016x}", out.digest);
+}
+
+fn trc_gen(args: &[String]) {
+    let pos = positionals(args);
+    let [out] = pos[..] else {
+        eprintln!("usage: hoardscope trc gen OUT.trc [--sessions N] [--workers N] [--seed S]");
+        std::process::exit(2);
+    };
+    let mut params = server_traffic::Params::default();
+    if let Some(v) = flag_value(args, "--sessions") {
+        params.sessions = v.parse().expect("--sessions takes a number");
+    }
+    if let Some(v) = flag_value(args, "--workers") {
+        params.workers = v.parse().expect("--workers takes a number");
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        params.seed = v.parse().expect("--seed takes a number");
+    }
+    let (trc, summary) = server_traffic::generate(&params);
+    let bytes = trc.encode();
+    std::fs::write(out, &bytes).expect("write .trc");
+    println!(
+        "generated {} sessions ({} records, {} bytes) -> {out}: {} storms, \
+         {} evictions ({} sessions), {} migrated, peak_live {} B",
+        summary.sessions,
+        trc.len(),
+        bytes.len(),
+        summary.storms,
+        summary.evictions,
+        summary.evicted_sessions,
+        summary.migrated,
+        summary.peak_live,
+    );
+}
+
+fn trc_report(args: &[String]) {
+    let pos = positionals(args);
+    let [path] = pos[..] else {
+        eprintln!("usage: hoardscope trc report FILE.trc [--lockfree] [--json OUT]");
+        std::process::exit(2);
+    };
+    let trc = load_trc(path);
+    let config = hoard_config(args);
+    let out = replay_trc(&trc, config).unwrap_or_else(|e| {
+        eprintln!("cannot replay {path}: {e}");
+        std::process::exit(2);
+    });
+    let json = report_for(&trc, &out, &config);
+    if let Some(dest) = flag_value(args, "--json") {
+        std::fs::write(dest, &json).expect("write report");
+        eprintln!("wrote report to {dest}");
+    }
+    println!("{json}");
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {

@@ -27,6 +27,7 @@ mod scope;
 mod speedup;
 mod summary;
 mod table;
+mod trc_tools;
 
 pub use experiments::{all_experiments, experiment_by_id, Experiment, RunOptions};
 pub use factory::AllocatorKind;
@@ -37,6 +38,10 @@ pub use scope::{
 pub use speedup::{run_speedup, SpeedupPoint, SpeedupSeries};
 pub use summary::{markdown_report, summarize_speedup, CurveSummary, Shape};
 pub use table::Table;
+pub use trc_tools::{
+    record_workload, replay_digest, replay_trc, report_for, RecordOutcome, ReplayOutcome,
+    TRC_REPORT_SCHEMA,
+};
 
 #[cfg(test)]
 mod tests {

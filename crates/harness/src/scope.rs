@@ -316,6 +316,23 @@ pub fn metrics_table(m: &MetricsSnapshot) -> Table {
         "oom rescued allocs".into(),
         m.hardening.rescued_allocations.to_string(),
     ]);
+    t.push_row(vec![
+        "sb registry occupancy".into(),
+        format!(
+            "{}/{} ({:.1}%)",
+            m.registry.occupancy,
+            m.registry.capacity,
+            100.0 * m.registry.occupancy_ratio()
+        ),
+    ]);
+    t.push_row(vec![
+        "sb registry degraded".into(),
+        if m.registry.overflowed {
+            "YES (overflow latched; mask checks fall back to headers)".into()
+        } else {
+            "no".to_string()
+        },
+    ]);
     t
 }
 

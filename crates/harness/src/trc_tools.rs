@@ -1,0 +1,392 @@
+//! The `hoardscope record / replay / gen / report` pipeline: capture
+//! any workload run to a `.trc` file, replay a `.trc` against a fresh
+//! allocator, generate server-shaped traffic, and score a replay.
+//!
+//! The contract that makes the pipeline useful as a regression
+//! instrument is **replay determinism**: replaying the same `.trc`
+//! twice produces byte-identical results, compressed into a single
+//! [`metrics digest`](replay_digest) that CI can diff. The digest
+//! covers the virtual makespan, operation and byte accounting, and the
+//! per-heap × per-class metrics registry — if any of it moves between
+//! two replays of one trace, something nondeterministic crept into the
+//! allocator or the simulator.
+
+use hoard_core::{
+    HoardAllocator, HoardConfig, MetricsSnapshot, RecorderStats, TrcRecorder, TrcTrace,
+};
+use hoard_mem::SizeClassTable;
+use hoard_trace::jsonio::{obj, JsonValue};
+use hoard_workloads::trace::{replay, Trace};
+use hoard_workloads::{larson, threadtest, WorkloadResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Schema tag stamped into every `trc report` document; CI validates
+/// against it.
+pub const TRC_REPORT_SCHEMA: &str = "hoard-trc-report-v1";
+
+/// Everything `hoardscope record` produces.
+pub struct RecordOutcome {
+    /// The captured trace.
+    pub trc: TrcTrace,
+    /// Capture counters (allocs/frees seen, unmatched, spilled).
+    pub stats: RecorderStats,
+    /// Makespan of the *recorded* run (capture charges included).
+    pub recorded_makespan: u64,
+    /// Makespan of an identical run without the recorder attached.
+    pub plain_makespan: u64,
+}
+
+impl RecordOutcome {
+    /// Capture overhead as a percentage of the plain makespan.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.plain_makespan == 0 {
+            0.0
+        } else {
+            100.0 * (self.recorded_makespan as f64 - self.plain_makespan as f64)
+                / self.plain_makespan as f64
+        }
+    }
+}
+
+/// Everything one `.trc` replay produces.
+pub struct ReplayOutcome {
+    /// The usual workload result (makespan, ops, live peak, snapshot).
+    pub result: WorkloadResult,
+    /// The metrics registry's snapshot at quiescence.
+    pub metrics: MetricsSnapshot,
+    /// The determinism digest over `result` + `metrics`.
+    pub digest: u64,
+}
+
+fn run_named(
+    alloc: &HoardAllocator,
+    workload: &str,
+    threads: usize,
+    quick: bool,
+) -> WorkloadResult {
+    match workload {
+        "threadtest" => {
+            let mut p = threadtest::Params::default();
+            if quick {
+                p.total_objects = 20_000;
+            }
+            threadtest::run(alloc, threads, &p)
+        }
+        "larson" => {
+            let mut p = larson::Params::default();
+            if quick {
+                p.slots_per_thread = 200;
+                p.rounds = 2;
+                p.ops_per_round = 1_000;
+            }
+            larson::run(alloc, threads, &p)
+        }
+        other => panic!("recordable workloads are threadtest|larson, got {other:?}"),
+    }
+}
+
+/// Seed a named workload carries in its own parameters (recorded in the
+/// `.trc` header so the capture is self-describing).
+fn workload_seed(workload: &str) -> u64 {
+    match workload {
+        "larson" => larson::Params::default().seed,
+        _ => 0,
+    }
+}
+
+/// Run `workload` twice with identical configuration — once bare for
+/// the overhead baseline, once with a [`TrcRecorder`] attached — and
+/// return the capture. Panics on unknown workload names (the CLI
+/// validates first).
+pub fn record_workload(
+    workload: &str,
+    config: HoardConfig,
+    threads: usize,
+    quick: bool,
+) -> RecordOutcome {
+    let plain = {
+        let h = HoardAllocator::with_config(config).expect("valid config");
+        run_named(&h, workload, threads, quick)
+    };
+
+    let h = HoardAllocator::with_config(config).expect("valid config");
+    let tag = format!("{workload} P={threads}{}", if quick { " quick" } else { "" });
+    let rec = Arc::new(TrcRecorder::new(workload_seed(workload), &tag, threads.max(1)));
+    h.attach_recorder(Arc::clone(&rec));
+    let recorded = run_named(&h, workload, threads, quick);
+
+    RecordOutcome {
+        trc: rec.trace(),
+        stats: rec.stats(),
+        recorded_makespan: recorded.makespan,
+        plain_makespan: plain.makespan,
+    }
+}
+
+/// Replay a `.trc` against a fresh Hoard allocator (with a metrics
+/// registry attached) and compute the determinism digest.
+///
+/// # Errors
+///
+/// Propagates [`Trace::from_trc`] conversion failures.
+pub fn replay_trc(trc: &TrcTrace, config: HoardConfig) -> Result<ReplayOutcome, String> {
+    let trace = Trace::from_trc(trc)?;
+    let h = HoardAllocator::with_config(config).expect("valid config");
+    let registry = Arc::new(h.new_metrics_registry());
+    h.attach_metrics(Arc::clone(&registry));
+    let result = replay(&h, &trace);
+    // Quiesce inside a fresh deterministic scope: the flush takes heap
+    // locks whose virtual wait is measured against the caller's clock,
+    // and the caller's thread-local clock carries arbitrary history.
+    // Pinning it to (proc 0, t = makespan) — the flush happens "after"
+    // the run — makes the post-replay metrics a pure function of the
+    // trace.
+    let metrics = hoard_sim::sequential_scope(1, || {
+        hoard_sim::switch_context(0, result.makespan);
+        h.flush_frontend();
+        h.metrics_snapshot().expect("registry attached")
+    });
+    let digest = replay_digest(&result, &metrics);
+    Ok(ReplayOutcome {
+        result,
+        metrics,
+        digest,
+    })
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_u64(hash: u64, v: u64) -> u64 {
+    v.to_le_bytes()
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// FNV-1a 64 digest of everything a replay determines: makespan, op
+/// and byte accounting, and every per-heap × per-class counter. Two
+/// replays of the same `.trc` on the same configuration must agree.
+pub fn replay_digest(result: &WorkloadResult, metrics: &MetricsSnapshot) -> u64 {
+    let s = &result.snapshot;
+    let mut h = FNV_OFFSET;
+    for v in [
+        result.makespan,
+        result.ops,
+        result.max_live_requested,
+        s.allocs,
+        s.frees,
+        s.remote_frees,
+        s.live_peak,
+        s.held_peak,
+        s.transfers_to_global,
+        s.transfers_from_global,
+    ] {
+        h = fnv1a_u64(h, v);
+    }
+    for heap in &metrics.heaps {
+        h = fnv1a_u64(h, heap.heap as u64);
+        for c in &heap.classes {
+            for v in [c.class as u64, c.allocs, c.frees, c.remote_frees, c.magazine_ops] {
+                h = fnv1a_u64(h, v);
+            }
+        }
+    }
+    h
+}
+
+/// Score a replayed trace as a JSON document (the `hoardscope trc
+/// report` payload).
+///
+/// Layout (`schema` = [`TRC_REPORT_SCHEMA`]):
+///
+/// * `trace` — header facts: config tag, seed, streams, record and
+///   allocation counts;
+/// * `replay` — makespan, ops, `load` (ops per million virtual units),
+///   `fragmentation` (held-peak over requested-live-peak, the paper's
+///   `A/U`), byte accounting, and the determinism `digest`;
+/// * `classes` — per-size-class allocation histogram aggregated across
+///   heaps, with the class's block size resolved from `config`;
+/// * `registry` — superblock-registry occupancy / degraded gauges.
+pub fn report_for(trc: &TrcTrace, outcome: &ReplayOutcome, config: &HoardConfig) -> String {
+    let r = &outcome.result;
+    let s = &r.snapshot;
+
+    let frag = r.fragmentation();
+    let trace = obj(vec![
+        ("config", JsonValue::Str(trc.config.clone())),
+        ("seed", JsonValue::Uint(trc.seed)),
+        ("streams", JsonValue::Uint(trc.streams.len() as u64)),
+        ("records", JsonValue::Uint(trc.len() as u64)),
+        ("allocs", JsonValue::Uint(trc.allocs())),
+    ]);
+    let replay = obj(vec![
+        ("makespan", JsonValue::Uint(r.makespan)),
+        ("ops", JsonValue::Uint(r.ops)),
+        ("load", JsonValue::Float(r.throughput())),
+        (
+            "fragmentation",
+            frag.map_or(JsonValue::Null, JsonValue::Float),
+        ),
+        ("max_live_requested", JsonValue::Uint(r.max_live_requested)),
+        ("live_peak", JsonValue::Uint(s.live_peak)),
+        ("held_peak", JsonValue::Uint(s.held_peak)),
+        ("allocs", JsonValue::Uint(s.allocs)),
+        ("frees", JsonValue::Uint(s.frees)),
+        ("remote_frees", JsonValue::Uint(s.remote_frees)),
+        (
+            "digest",
+            JsonValue::Str(format!("{:016x}", outcome.digest)),
+        ),
+    ]);
+
+    // Aggregate the per-heap × per-class counters into one histogram
+    // per size class, ascending by class index.
+    let mut per_class: BTreeMap<usize, [u64; 4]> = BTreeMap::new();
+    for heap in &outcome.metrics.heaps {
+        for c in &heap.classes {
+            let e = per_class.entry(c.class).or_default();
+            e[0] += c.allocs;
+            e[1] += c.frees;
+            e[2] += c.remote_frees;
+            e[3] += c.magazine_ops;
+        }
+    }
+    let table = SizeClassTable::for_superblock_size(config.superblock_size);
+    let classes = JsonValue::Arr(
+        per_class
+            .into_iter()
+            .map(|(class, [allocs, frees, remote, mag])| {
+                let block = if class < table.len() {
+                    JsonValue::Uint(u64::from(table.class(class).block_size))
+                } else {
+                    JsonValue::Null
+                };
+                obj(vec![
+                    ("class", JsonValue::Uint(class as u64)),
+                    ("block_size", block),
+                    ("allocs", JsonValue::Uint(allocs)),
+                    ("frees", JsonValue::Uint(frees)),
+                    ("remote_frees", JsonValue::Uint(remote)),
+                    ("magazine_ops", JsonValue::Uint(mag)),
+                ])
+            })
+            .collect(),
+    );
+
+    let reg = &outcome.metrics.registry;
+    let registry = obj(vec![
+        ("occupancy", JsonValue::Uint(reg.occupancy)),
+        ("capacity", JsonValue::Uint(reg.capacity)),
+        ("overflowed", JsonValue::Bool(reg.overflowed)),
+    ]);
+
+    obj(vec![
+        ("schema", JsonValue::Str(TRC_REPORT_SCHEMA.to_string())),
+        ("trace", trace),
+        ("replay", replay),
+        ("classes", classes),
+        ("registry", registry),
+    ])
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_workloads::server_traffic;
+
+    #[test]
+    fn record_then_replay_reproduces_counts_exactly() {
+        let out = record_workload("threadtest", HoardConfig::with_default_magazines(), 2, true);
+        assert_eq!(out.stats.unmatched_frees, 0);
+        assert_eq!(out.stats.allocs, out.stats.frees, "threadtest frees all");
+        let rep = replay_trc(&out.trc, HoardConfig::with_default_magazines()).expect("replays");
+        // The capture holds every alloc the workload performed; replay
+        // performs exactly those ops again.
+        assert_eq!(rep.result.snapshot.allocs, out.stats.allocs);
+        assert_eq!(rep.result.snapshot.frees, out.stats.frees);
+        assert_eq!(rep.result.snapshot.live_current, 0);
+    }
+
+    #[test]
+    fn replaying_the_same_trc_twice_is_byte_identical() {
+        let (trc, _) = server_traffic::generate(&server_traffic::Params {
+            workers: 2,
+            sessions: 1_500,
+            ..Default::default()
+        });
+        let a = replay_trc(&trc, HoardConfig::with_default_magazines()).unwrap();
+        let b = replay_trc(&trc, HoardConfig::with_default_magazines()).unwrap();
+        assert_eq!(a.result.makespan, b.result.makespan);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn digest_notices_changes() {
+        let (trc, _) = server_traffic::generate(&server_traffic::Params {
+            workers: 2,
+            sessions: 500,
+            ..Default::default()
+        });
+        let (other, _) = server_traffic::generate(&server_traffic::Params {
+            workers: 2,
+            sessions: 501,
+            ..Default::default()
+        });
+        let a = replay_trc(&trc, HoardConfig::with_default_magazines()).unwrap();
+        let b = replay_trc(&other, HoardConfig::with_default_magazines()).unwrap();
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let (trc, _) = server_traffic::generate(&server_traffic::Params {
+            workers: 2,
+            sessions: 800,
+            ..Default::default()
+        });
+        let config = HoardConfig::with_default_magazines();
+        let out = replay_trc(&trc, config).unwrap();
+        let json = report_for(&trc, &out, &config);
+        let doc = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(TRC_REPORT_SCHEMA)
+        );
+        let digest = doc
+            .get("replay")
+            .and_then(|r| r.get("digest"))
+            .and_then(JsonValue::as_str)
+            .expect("digest present");
+        assert_eq!(digest, format!("{:016x}", out.digest));
+        let classes = doc.get("classes").and_then(JsonValue::as_array).unwrap();
+        assert!(!classes.is_empty(), "traffic touches some size classes");
+        for c in classes {
+            assert!(c.get("allocs").and_then(JsonValue::as_u64).is_some());
+            assert!(c.get("block_size").is_some());
+        }
+        assert!(doc
+            .get("registry")
+            .and_then(|r| r.get("overflowed"))
+            .and_then(JsonValue::as_bool)
+            .is_some());
+    }
+
+    #[test]
+    fn recording_overhead_is_charged() {
+        // Single-threaded on purpose: multi-proc virtual makespans vary
+        // with host scheduling (lock-handoff order), which would swamp
+        // the small capture charge this test is about. One worker's
+        // virtual time is stable enough to see it.
+        let out = record_workload("larson", HoardConfig::with_default_magazines(), 1, true);
+        assert!(
+            out.recorded_makespan > out.plain_makespan,
+            "capture charges show in virtual time: {} vs {}",
+            out.recorded_makespan,
+            out.plain_makespan
+        );
+        assert!(out.overhead_pct() <= 10.0, "overhead {}%", out.overhead_pct());
+    }
+}

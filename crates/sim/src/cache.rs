@@ -45,8 +45,27 @@ pub struct CacheModel {
     /// workload thread must not poison the whole simulation — the map
     /// is a monotonic residency record, valid even mid-update.
     residency: Mutex<HashMap<usize, ProcCounts>>,
+    /// When present, real line addresses are renamed to dense ids in
+    /// first-touch order before directory hashing. The lossy directory's
+    /// collision pattern then depends only on the *order* lines are
+    /// touched — not on where the OS happened to map the memory — which
+    /// is what makes sequential replay byte-deterministic across
+    /// processes and ASLR (see [`CacheModel::deterministic`]).
+    renaming: Option<Mutex<Renaming>>,
     remote_transfers: AtomicU64,
     local_hits: AtomicU64,
+}
+
+/// Address → dense-id renaming state for deterministic mode. Ids come
+/// from a monotonic counter (never `map.len()`): [`chunk_acquired`]
+/// removes entries when the OS recycles an address, and a reused id
+/// would let two live lines alias one directory tag.
+///
+/// [`chunk_acquired`]: CacheModel::chunk_acquired
+#[derive(Debug, Default)]
+struct Renaming {
+    map: HashMap<usize, u64>,
+    next: u64,
 }
 
 /// Per-line counts of live blocks per processor (small inline map).
@@ -99,8 +118,65 @@ impl CacheModel {
         CacheModel {
             dir: dir.into_boxed_slice(),
             residency: Mutex::new(HashMap::new()),
+            renaming: None,
             remote_transfers: AtomicU64::new(0),
             local_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a directory whose hash-collision behavior is independent
+    /// of real memory placement: line addresses are renamed to dense
+    /// ids in first-touch order before hashing. With a deterministic
+    /// touch order (one thread driving the simulation, as under
+    /// [`crate::sequential_scope`]), every cost this model charges is a
+    /// pure function of the workload — ASLR cannot perturb it.
+    pub fn deterministic() -> Self {
+        CacheModel {
+            renaming: Some(Mutex::new(Renaming::default())),
+            ..Self::new()
+        }
+    }
+
+    /// The directory index key for `line_addr`: the dense first-touch
+    /// id in deterministic mode, the real line index otherwise.
+    fn line_key(&self, line_addr: usize) -> u64 {
+        match &self.renaming {
+            Some(renaming) => {
+                let mut r = renaming.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(&id) = r.map.get(&line_addr) {
+                    return id;
+                }
+                let id = r.next;
+                r.next += 1;
+                r.map.insert(line_addr, id);
+                id
+            }
+            None => (line_addr / LINE) as u64,
+        }
+    }
+
+    /// Note that `ptr..ptr+len` was just handed out by the operating
+    /// system: drop any dense-id renamings for its lines, so a recycled
+    /// address is indistinguishable from a brand-new mapping (cold
+    /// lines, fresh ids). Without this, *whether* the host allocator
+    /// reuses an address decides whether the chunk's lines inherit warm
+    /// directory ownership — host-dependent state that breaks replay
+    /// determinism. No-op outside deterministic mode, where the
+    /// directory is keyed on real addresses and staleness is ordinary
+    /// lossy-collision noise.
+    pub fn chunk_acquired(&self, ptr: *mut u8, len: usize) {
+        let Some(renaming) = &self.renaming else {
+            return;
+        };
+        if len == 0 {
+            return;
+        }
+        let mut r = renaming.lock().unwrap_or_else(|e| e.into_inner());
+        let mut line = ptr as usize & !(LINE - 1);
+        let end = ptr as usize + len;
+        while line < end {
+            r.map.remove(&line);
+            line += LINE;
         }
     }
 
@@ -163,8 +239,9 @@ impl CacheModel {
         let mut remote = 0u64;
         let mut local = 0u64;
         while line < end {
-            let slot = &self.dir[Self::slot(line)];
-            let tag = Self::tag(line);
+            let key = self.line_key(line);
+            let slot = &self.dir[Self::slot(key)];
+            let tag = Self::tag(key);
             let cur = slot.load(Ordering::Relaxed);
             let owned_by_me = cur >> 16 == tag && (cur & 0xFFFF) == (me & 0xFFFF);
             // A line co-resident with another processor's live block is
@@ -215,18 +292,23 @@ impl CacheModel {
             slot.store(0, Ordering::Relaxed);
         }
         self.residency.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        if let Some(renaming) = &self.renaming {
+            let mut r = renaming.lock().unwrap_or_else(|e| e.into_inner());
+            r.map.clear();
+            r.next = 0;
+        }
         self.remote_transfers.store(0, Ordering::Relaxed);
         self.local_hits.store(0, Ordering::Relaxed);
     }
 
-    fn slot(line_addr: usize) -> usize {
-        // Fibonacci hashing of the line index.
-        let idx = (line_addr / LINE) as u64;
-        ((idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> (64 - DIR_BITS)) as usize
+    fn slot(key: u64) -> usize {
+        // Fibonacci hashing of the line key (real line index, or the
+        // dense first-touch id in deterministic mode).
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> (64 - DIR_BITS)) as usize
     }
 
-    fn tag(line_addr: usize) -> u64 {
-        ((line_addr / LINE) as u64) & 0xFFFF_FFFF_FFFF
+    fn tag(key: u64) -> u64 {
+        key & 0xFFFF_FFFF_FFFF
     }
 }
 

@@ -73,6 +73,23 @@ pub(crate) fn reset_clock() {
     CLOCK.with(|c| c.set(0));
 }
 
+/// Switch the calling thread's virtual-processor context to
+/// (`proc`, `t`), returning the previous `(proc, clock)` pair.
+///
+/// This is the context switch of a **sequential** multiprocessor
+/// simulation (see [`crate::sequential_scope`]): one OS thread
+/// impersonates every virtual processor in turn, so — unlike
+/// [`set_clock`] — the clock here may move *backwards*. Each virtual
+/// processor's own timeline stays monotone; it is only the host
+/// thread's view that jumps around. Must not be called from inside a
+/// [`crate::Machine`] worker, whose processor identity is fixed.
+pub fn switch_context(proc: usize, t: u64) -> (usize, u64) {
+    let prev_proc = PROC.with(|p| p.replace(proc));
+    let prev_clock = CLOCK.with(|c| c.replace(t));
+    crate::gate::publish(t);
+    (prev_proc, prev_clock)
+}
+
 /// The calling thread's virtual processor id.
 ///
 /// Inside a [`crate::Machine`] run this is the processor index assigned

@@ -52,11 +52,17 @@ pub(crate) struct MachineState {
 
 impl MachineState {
     pub fn new(processors: usize) -> Arc<Self> {
+        Self::with_cache(processors, CacheModel::new())
+    }
+
+    /// A machine state with a caller-chosen cache model (the
+    /// deterministic one for [`crate::sequential_scope`]).
+    pub fn with_cache(processors: usize, cache: CacheModel) -> Arc<Self> {
         Arc::new(MachineState {
             clocks: (0..processors).map(|_| AtomicU64::new(0)).collect(),
             states: (0..processors).map(|_| AtomicU8::new(STATE_ACTIVE)).collect(),
             gate_timeouts: AtomicUsize::new(0),
-            cache: CacheModel::new(),
+            cache,
         })
     }
 
@@ -87,6 +93,15 @@ thread_local! {
 /// Attach the calling worker to `state` as processor `idx`.
 pub(crate) fn attach(state: &Arc<MachineState>, idx: usize) {
     CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(state), idx)));
+}
+
+/// Swap the calling thread's machine context wholesale, returning the
+/// previous one (for [`crate::sequential_scope`], which must restore
+/// the caller's context on exit rather than mark it done).
+pub(crate) fn swap_ctx(
+    new: Option<(Arc<MachineState>, usize)>,
+) -> Option<(Arc<MachineState>, usize)> {
+    CTX.with(|c| std::mem::replace(&mut *c.borrow_mut(), new))
 }
 
 /// Detach the calling worker (marks it done).

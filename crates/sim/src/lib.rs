@@ -58,9 +58,9 @@ mod vlock;
 
 pub use cache::CacheModel;
 pub use channel::{vchannel, vchannel_bounded, VReceiver, VSender};
-pub use clock::{charge, current_proc, has_proc, now, set_clock, VirtualClock};
+pub use clock::{charge, current_proc, has_proc, now, set_clock, switch_context, VirtualClock};
 pub use cost::{Cost, CostModel};
-pub use machine::Machine;
+pub use machine::{sequential_scope, Machine};
 pub use report::RunReport;
 pub use vbarrier::VBarrier;
 pub use vlock::{VLock, VLockGuard};
@@ -115,6 +115,21 @@ pub fn unregister_block(ptr: *mut u8, len: usize, owner_proc: usize) {
     if gate::machine_cache(|c| c.unregister_block(ptr, len, owner_proc)).is_none() {
         cache::global().unregister_block(ptr, len, owner_proc);
     }
+}
+
+/// Tell the calling thread's cache model that `ptr..ptr+len` was just
+/// handed out fresh by the operating system (see
+/// [`CacheModel::chunk_acquired`]). Chunk sources call this on every
+/// OS-level chunk allocation so that, in deterministic replay, a
+/// recycled address behaves exactly like a brand-new one.
+///
+/// Deliberately no global-cache fallback: only machine-scoped caches
+/// can be deterministic, so on a detached thread this is a no-op —
+/// and since chunk sources call it from *inside* an allocation, lazily
+/// initializing the global cache here would recurse into the allocator
+/// when a Hoard instance is installed as `#[global_allocator]`.
+pub fn chunk_acquired(ptr: *mut u8, len: usize) {
+    let _ = gate::machine_cache(|c| c.chunk_acquired(ptr, len));
 }
 
 /// Touch `len` bytes at `ptr` through the global [`CacheModel`],

@@ -80,6 +80,48 @@ impl Machine {
     }
 }
 
+/// Run `f` on the calling thread inside a private machine context for a
+/// **sequential** `processors`-way simulation.
+///
+/// This is the substrate for deterministic replay: instead of spawning
+/// real threads (whose host scheduling leaks into virtual lock-handoff
+/// and cache-transfer order), a single thread impersonates every
+/// virtual processor in turn via [`crate::switch_context`]. The scope
+/// provides a **private** [`crate::CacheModel`] (so concurrent
+/// simulations in one process cannot contaminate each other's coherence
+/// state) and disables the ordering gate — a lone runner needs no
+/// conservative window, and its execution order is exactly the virtual
+/// order its driver chooses.
+///
+/// The caller's own `(proc, clock)` context is restored when `f`
+/// returns. Must not be called from inside a [`Machine`] worker.
+pub fn sequential_scope<T>(processors: usize, f: impl FnOnce() -> T) -> T {
+    let state = gate::MachineState::with_cache(
+        processors.max(1),
+        crate::CacheModel::deterministic(),
+    );
+    // Only the calling thread ever runs; every other slot is marked done
+    // so the ordering gate's minimum is empty and never spins.
+    for s in state.states.iter().skip(1) {
+        s.store(gate::STATE_DONE, std::sync::atomic::Ordering::Relaxed);
+    }
+    // Restore the caller's context even if `f` unwinds.
+    struct Restore {
+        prev_ctx: Option<(std::sync::Arc<gate::MachineState>, usize)>,
+        prev: (usize, u64),
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            clock::switch_context(self.prev.0, self.prev.1);
+            gate::swap_ctx(self.prev_ctx.take());
+        }
+    }
+    let prev_ctx = gate::swap_ctx(Some((state, 0)));
+    let prev = clock::switch_context(0, 0);
+    let _restore = Restore { prev_ctx, prev };
+    f()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +189,48 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         let _ = Machine::new(0);
+    }
+
+    #[test]
+    fn sequential_scope_isolates_and_restores_context() {
+        let my_proc = crate::current_proc();
+        crate::charge(123);
+        let my_clock = crate::now();
+        let inside = sequential_scope(3, || {
+            // Starts as processor 0 at time 0.
+            assert_eq!(crate::current_proc(), 0);
+            assert_eq!(crate::now(), 0);
+            // Impersonate processor 2, run some work, switch back.
+            clock::switch_context(2, 500);
+            work(50);
+            let t2 = crate::now();
+            clock::switch_context(0, 10);
+            assert_eq!(crate::now(), 10, "clock may move backwards here");
+            t2
+        });
+        assert_eq!(inside, 550);
+        assert_eq!(crate::current_proc(), my_proc, "identity restored");
+        assert_eq!(crate::now(), my_clock, "clock restored");
+    }
+
+    #[test]
+    fn sequential_scope_serializes_virtual_lock_time() {
+        // Two virtual processors take the same lock from one real
+        // thread; the second (virtually earlier) acquirer must wait
+        // past the first's release — same model as real Machine runs.
+        let m = crate::CostModel::current();
+        let (t_a, t_b) = sequential_scope(2, || {
+            let lock = VLock::new();
+            clock::switch_context(0, 0);
+            {
+                let _g = lock.lock();
+                work(10_000);
+            }
+            let t_a = crate::now();
+            clock::switch_context(1, 0);
+            let _g = lock.lock();
+            (t_a, crate::now())
+        });
+        assert!(t_b >= t_a + m.lock_handoff, "t_a={t_a} t_b={t_b}");
     }
 }

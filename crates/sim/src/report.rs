@@ -13,6 +13,14 @@ impl RunReport {
         RunReport { per_processor }
     }
 
+    /// Build a report from externally tracked per-processor final
+    /// clocks — for simulations that drive virtual processors without
+    /// [`crate::Machine::run`] (e.g. the sequential replay engine under
+    /// [`crate::sequential_scope`]).
+    pub fn from_per_processor(per_processor: Vec<u64>) -> Self {
+        RunReport::new(per_processor)
+    }
+
     /// Virtual makespan: the maximum final clock over all processors —
     /// the analogue of wall-clock runtime on the simulated machine.
     pub fn makespan(&self) -> u64 {

@@ -58,6 +58,14 @@ impl JsonValue {
         }
     }
 
+    /// Boolean value (`None` otherwise).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String contents (`None` otherwise).
     pub fn as_str(&self) -> Option<&str> {
         match self {

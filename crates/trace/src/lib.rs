@@ -26,13 +26,20 @@ mod event;
 pub mod jsonio;
 mod log;
 mod metrics;
+mod recorder;
 mod sink;
+mod trc;
 
 pub use chrome::{chrome_trace_json, CHROME_PID};
 pub use event::{Event, EventKind};
 pub use log::{TraceLog, TrackLog};
 pub use metrics::{
     ClassMetrics, HardeningMetrics, HeapMetrics, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, HISTOGRAM_BUCKETS,
+    MetricsSnapshot, RegistryMetrics, HISTOGRAM_BUCKETS,
 };
+pub use recorder::{RecorderStats, TrcRecorder};
 pub use sink::{TraceConfig, TraceSink};
+pub use trc::{
+    TrcError, TrcHeader, TrcOp, TrcReader, TrcRecord, TrcStreamIter, TrcTrace, TrcWriter,
+    TRC_MAGIC, TRC_VERSION,
+};

@@ -165,6 +165,9 @@ pub struct MetricsRegistry {
     magazine_fill: Histogram,
     /// corruption_reports, quarantined, chunk_reclaims, rescued_allocations
     hardening: [AtomicU64; 4],
+    /// occupancy, capacity, overflowed (0/1) of the lock-free
+    /// superblock registry.
+    registry: [AtomicU64; 3],
 }
 
 impl MetricsRegistry {
@@ -183,6 +186,7 @@ impl MetricsRegistry {
             transfer_fullness: Histogram::new(),
             magazine_fill: Histogram::new(),
             hardening: [const { AtomicU64::new(0) }; 4],
+            registry: [const { AtomicU64::new(0) }; 3],
         }
     }
 
@@ -301,6 +305,17 @@ impl MetricsRegistry {
         }
     }
 
+    /// Set the superblock-registry gauges (absolute values) — occupancy
+    /// and capacity of the lock-free registry backing the masked-
+    /// metadata checks, and whether its overflow latch has tripped
+    /// (degraded mode: contains-checks fall back to header validation).
+    pub fn set_registry(&self, occupancy: u64, capacity: u64, overflowed: bool) {
+        let values = [occupancy, capacity, u64::from(overflowed)];
+        for (slot, v) in self.registry.iter().zip(values) {
+            slot.store(v, Relaxed);
+        }
+    }
+
     /// Point-in-time copy of everything (heaps with no activity are
     /// omitted, classes with no activity are omitted per heap).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -347,6 +362,11 @@ impl MetricsRegistry {
                 quarantined: hd[1].load(Relaxed),
                 chunk_reclaims: hd[2].load(Relaxed),
                 rescued_allocations: hd[3].load(Relaxed),
+            },
+            registry: RegistryMetrics {
+                occupancy: self.registry[0].load(Relaxed),
+                capacity: self.registry[1].load(Relaxed),
+                overflowed: self.registry[2].load(Relaxed) != 0,
             },
         }
     }
@@ -450,6 +470,34 @@ impl HardeningMetrics {
     }
 }
 
+/// Superblock-registry visibility: the lock-free registry that
+/// validates masked metadata lookups is a fixed open-addressed table;
+/// when it fills, an overflow latch trips and `contains` degrades to
+/// header-only validation (ROADMAP's "degraded mode deserves a
+/// gauge"). These are absolute gauges sampled at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistryMetrics {
+    /// Live entries in the registry (tombstones excluded).
+    pub occupancy: u64,
+    /// Slot capacity of the fixed table.
+    pub capacity: u64,
+    /// Whether the overflow latch has tripped (sticky: once degraded,
+    /// the registry stays degraded for the allocator's lifetime).
+    pub overflowed: bool,
+}
+
+impl RegistryMetrics {
+    /// Occupancy as a fraction of capacity (0.0 for a zero-capacity /
+    /// unsampled gauge).
+    pub fn occupancy_ratio(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupancy as f64 / self.capacity as f64
+        }
+    }
+}
+
 /// Serializable point-in-time copy of a [`MetricsRegistry`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -465,6 +513,8 @@ pub struct MetricsSnapshot {
     pub magazine_fill: HistogramSnapshot,
     /// Corruption / OOM-recovery gauges.
     pub hardening: HardeningMetrics,
+    /// Superblock-registry occupancy / degraded-mode gauges.
+    pub registry: RegistryMetrics,
 }
 
 impl MetricsSnapshot {
@@ -532,6 +582,8 @@ impl MetricsSnapshot {
             transfer_fullness: self.transfer_fullness.delta(&base.transfer_fullness),
             magazine_fill: self.magazine_fill.delta(&base.magazine_fill),
             hardening: self.hardening.delta(&base.hardening),
+            // Gauges, not counters: a delta keeps the later sample.
+            registry: self.registry,
         }
     }
 
@@ -612,6 +664,14 @@ impl MetricsSnapshot {
                     ),
                 ]),
             ),
+            (
+                "registry",
+                obj(vec![
+                    ("occupancy", JsonValue::Uint(self.registry.occupancy)),
+                    ("capacity", JsonValue::Uint(self.registry.capacity)),
+                    ("overflowed", JsonValue::Bool(self.registry.overflowed)),
+                ]),
+            ),
         ])
         .to_json()
     }
@@ -675,6 +735,7 @@ impl MetricsSnapshot {
             });
         }
         let hd = doc.get("hardening").ok_or("missing 'hardening'")?;
+        let rg = doc.get("registry").ok_or("missing 'registry'")?;
         Ok(MetricsSnapshot {
             heaps,
             lock_wait: hist("lock_wait")?,
@@ -686,6 +747,14 @@ impl MetricsSnapshot {
                 quarantined: u(hd, "quarantined")?,
                 chunk_reclaims: u(hd, "chunk_reclaims")?,
                 rescued_allocations: u(hd, "rescued_allocations")?,
+            },
+            registry: RegistryMetrics {
+                occupancy: u(rg, "occupancy")?,
+                capacity: u(rg, "capacity")?,
+                overflowed: rg
+                    .get("overflowed")
+                    .and_then(|v| v.as_bool())
+                    .ok_or("missing boolean 'overflowed'")?,
             },
         })
     }
@@ -802,8 +871,23 @@ mod tests {
         r.on_alloc(1, 2, true);
         r.on_lock(1, 7);
         r.set_hardening(1, 0, 2, 3);
+        r.set_registry(17, 4096, true);
         let s = r.snapshot();
         let back = MetricsSnapshot::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn registry_gauges_are_absolute_and_survive_delta() {
+        let r = MetricsRegistry::new(1, 1);
+        r.set_registry(10, 4096, false);
+        let base = r.snapshot();
+        assert_eq!(base.registry.occupancy, 10);
+        assert!(!base.registry.overflowed);
+        assert!((base.registry.occupancy_ratio() - 10.0 / 4096.0).abs() < 1e-12);
+        r.set_registry(4096, 4096, true);
+        let d = r.snapshot().delta(&base);
+        assert_eq!(d.registry.occupancy, 4096, "gauge keeps the later sample");
+        assert!(d.registry.overflowed);
     }
 }

@@ -1,0 +1,260 @@
+//! [`TrcRecorder`] — the attachable capture device behind
+//! `hoardscope record`.
+//!
+//! Attached to an allocator exactly like [`TraceSink`](crate::TraceSink)
+//! (null-default pointer, one relaxed load when detached), but instead
+//! of address-free [`Event`](crate::Event)s it captures the *replayable*
+//! stream: every `allocate`/`deallocate` with its size, emitting virtual
+//! processor, virtual timestamp, and a **pointer token**. Tokens are
+//! dense ids minted at allocation and retired at free, so a recording of
+//! a seeded run is byte-identical across processes even though the OS
+//! hands out different addresses — the property the golden-fixture test
+//! pins down.
+//!
+//! Each captured op charges [`Cost::TraceEvent`], the same honesty rule
+//! as the event tracer: capture overhead shows up in virtual makespan
+//! instead of being pretended away.
+//!
+//! Concurrency: per-processor record tracks behind per-track mutexes
+//! (uncontended — a proc only writes its own track; the lock exists so
+//! out-of-range procs and `finish` stay safe), plus one global token
+//! map mutex. Real-time lock costs never leak into virtual time, so
+//! determinism is unaffected.
+
+use crate::trc::{TrcOp, TrcRecord, TrcTrace};
+use hoard_sim::{charge_cost, current_proc, now, Cost};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capture counters, for overhead reports and sanity checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Allocations captured.
+    pub allocs: u64,
+    /// Frees captured (matched to a live token).
+    pub frees: u64,
+    /// Frees of addresses never seen by this recorder (allocated before
+    /// attach, or via a path the recorder does not cover). Dropped from
+    /// the trace — a replay could not resolve them.
+    pub unmatched_frees: u64,
+    /// Ops captured from processors outside the track range (harness
+    /// threads, teardown); they land on the shared overflow stream.
+    pub spilled: u64,
+}
+
+struct TokenMap {
+    by_addr: HashMap<usize, u64>,
+    next: u64,
+}
+
+/// One capture stream: `(absolute virtual ts, op)` pairs in program
+/// order, locked independently of every other stream.
+type Track = Mutex<Vec<(u64, TrcOp)>>;
+
+/// The attachable `.trc` capture device. See the module docs.
+pub struct TrcRecorder {
+    seed: u64,
+    config: String,
+    /// Per-proc tracks of `(absolute virtual ts, op)`; deltas are
+    /// computed at [`TrcRecorder::trace`] time.
+    tracks: Box<[Track]>,
+    /// Ops from procs outside `0..tracks.len()`, all on one overflow
+    /// stream (index `tracks.len()` in the finished trace).
+    spill: Track,
+    tokens: Mutex<TokenMap>,
+    unmatched_frees: AtomicU64,
+    spilled: AtomicU64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl TrcRecorder {
+    /// A recorder whose header will carry `seed` and `config`, with
+    /// lock-free-ish tracks for procs `0..tracks`.
+    pub fn new(seed: u64, config: &str, tracks: usize) -> Self {
+        TrcRecorder {
+            seed,
+            config: config.to_string(),
+            tracks: (0..tracks.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            spill: Mutex::new(Vec::new()),
+            tokens: Mutex::new(TokenMap {
+                by_addr: HashMap::new(),
+                next: 0,
+            }),
+            unmatched_frees: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, op: TrcOp) {
+        charge_cost(Cost::TraceEvent);
+        let ts = now();
+        let proc = current_proc();
+        match self.tracks.get(proc) {
+            Some(track) => track.lock().unwrap().push((ts, op)),
+            None => {
+                self.spilled.fetch_add(1, Ordering::Relaxed);
+                self.spill.lock().unwrap().push((ts, op));
+            }
+        }
+    }
+
+    /// Capture a successful allocation of `size` bytes at `addr`,
+    /// minting a fresh pointer token for it.
+    pub fn record_alloc(&self, addr: usize, size: usize) {
+        let token = {
+            let mut map = self.tokens.lock().unwrap();
+            let token = map.next;
+            map.next += 1;
+            // Address reuse after a free re-mints: insert overwrites.
+            map.by_addr.insert(addr, token);
+            token
+        };
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.push(TrcOp::Alloc {
+            token,
+            size: u32::try_from(size).unwrap_or(u32::MAX),
+        });
+    }
+
+    /// Capture a free of `addr`, retiring its token. Frees of addresses
+    /// this recorder never saw allocated are counted and dropped.
+    pub fn record_free(&self, addr: usize) {
+        let token = self.tokens.lock().unwrap().by_addr.remove(&addr);
+        match token {
+            Some(token) => {
+                self.frees.fetch_add(1, Ordering::Relaxed);
+                self.push(TrcOp::Free { token });
+            }
+            None => {
+                self.unmatched_frees.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Capture counters so far.
+    pub fn stats(&self) -> RecorderStats {
+        RecorderStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            unmatched_frees: self.unmatched_frees.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Assemble everything captured so far into a [`TrcTrace`]
+    /// (absolute timestamps become per-stream deltas). Call at a
+    /// quiescent point — after `Machine::run` returns — for a complete
+    /// trace. The overflow stream, if any ops spilled, is appended
+    /// after the per-proc streams, ordered by timestamp.
+    pub fn trace(&self) -> TrcTrace {
+        let mut streams = Vec::with_capacity(self.tracks.len() + 1);
+        for track in self.tracks.iter() {
+            streams.push(delta_encode(&track.lock().unwrap()));
+        }
+        let mut spill = self.spill.lock().unwrap().clone();
+        if !spill.is_empty() {
+            // Spill mixes procs; timestamp order is the only defensible
+            // program order for it. Sort is stable, preserving arrival
+            // order between equal stamps.
+            spill.sort_by_key(|&(ts, _)| ts);
+            streams.push(delta_encode(&spill));
+        }
+        // Drop empty trailing streams so a P=1 capture is 1 stream.
+        while streams.last().is_some_and(|s| s.is_empty()) {
+            streams.pop();
+        }
+        TrcTrace {
+            seed: self.seed,
+            config: self.config.clone(),
+            streams,
+        }
+    }
+
+    /// [`TrcRecorder::trace`] encoded to `.trc` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.trace().encode()
+    }
+}
+
+fn delta_encode(recs: &[(u64, TrcOp)]) -> Vec<TrcRecord> {
+    let mut prev = 0u64;
+    recs.iter()
+        .map(|&(ts, op)| {
+            let dt = ts.saturating_sub(prev);
+            prev = ts.max(prev);
+            TrcRecord { dt, op }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_mints_and_retires_tokens() {
+        let r = TrcRecorder::new(42, "unit", 1);
+        r.record_alloc(0x1000, 64);
+        r.record_alloc(0x2000, 128);
+        r.record_free(0x1000);
+        // Address reuse gets a fresh token.
+        r.record_alloc(0x1000, 32);
+        let t = r.trace();
+        assert_eq!(t.seed, 42);
+        let ops: Vec<TrcOp> = t.streams.iter().flatten().map(|r| r.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                TrcOp::Alloc { token: 0, size: 64 },
+                TrcOp::Alloc { token: 1, size: 128 },
+                TrcOp::Free { token: 0 },
+                TrcOp::Alloc { token: 2, size: 32 },
+            ]
+        );
+        let s = r.stats();
+        assert_eq!((s.allocs, s.frees, s.unmatched_frees), (3, 1, 0));
+    }
+
+    #[test]
+    fn unmatched_free_is_counted_not_recorded() {
+        let r = TrcRecorder::new(0, "unit", 1);
+        r.record_free(0xDEAD);
+        assert_eq!(r.stats().unmatched_frees, 1);
+        assert!(r.trace().is_empty());
+    }
+
+    #[test]
+    fn capture_charges_virtual_time() {
+        let r = TrcRecorder::new(0, "unit", 1);
+        let before = hoard_sim::now();
+        r.record_alloc(0x10, 8);
+        let per_event = hoard_sim::CostModel::current().trace_event;
+        assert_eq!(hoard_sim::now(), before + per_event);
+    }
+
+    #[test]
+    fn timestamps_become_deltas() {
+        let recs = vec![
+            (100, TrcOp::Work { units: 1 }),
+            (130, TrcOp::Work { units: 1 }),
+            (130, TrcOp::Work { units: 1 }),
+        ];
+        let deltas: Vec<u64> = delta_encode(&recs).iter().map(|r| r.dt).collect();
+        assert_eq!(deltas, vec![100, 30, 0]);
+    }
+
+    #[test]
+    fn roundtrips_through_trc_bytes() {
+        let r = TrcRecorder::new(7, "roundtrip", 2);
+        r.record_alloc(0xA, 24);
+        r.record_free(0xA);
+        let bytes = r.to_bytes();
+        let t = TrcTrace::decode(&bytes).expect("decode");
+        assert_eq!(t.config, "roundtrip");
+        assert_eq!(t.allocs(), 1);
+    }
+}

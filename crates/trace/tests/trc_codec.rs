@@ -1,0 +1,96 @@
+//! Property tests for the `.trc` wire format: encode→decode identity
+//! over randomized record streams, and corruption/truncation rejection
+//! with typed errors — the codec-level half of the pipeline's
+//! determinism contract (the replay half lives in `hoard-workloads`).
+
+use hoard_trace::{TrcError, TrcOp, TrcRecord, TrcTrace};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = TrcOp> {
+    prop_oneof![
+        4 => (any::<u64>(), any::<u32>()).prop_map(|(token, size)| TrcOp::Alloc { token, size }),
+        3 => any::<u64>().prop_map(|token| TrcOp::Free { token }),
+        1 => (any::<u64>(), 0u32..64).prop_map(|(token, to)| TrcOp::Send { token, to }),
+        2 => any::<u32>().prop_map(|units| TrcOp::Work { units }),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = TrcRecord> {
+    (any::<u64>(), op_strategy()).prop_map(|(dt, op)| TrcRecord { dt, op })
+}
+
+fn trace_strategy() -> impl Strategy<Value = TrcTrace> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just(String::new()),
+            Just("larson P=4 hoard-mag".to_string()),
+            Just("服务器 traffic ×".to_string()),
+        ],
+        proptest::collection::vec(
+            proptest::collection::vec(record_strategy(), 0..40),
+            1..5,
+        ),
+    )
+        .prop_map(|(seed, config, streams)| TrcTrace {
+            seed,
+            config,
+            streams,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_is_identity(trace in trace_strategy()) {
+        let bytes = trace.encode();
+        let back = TrcTrace::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn encoding_is_a_pure_function(trace in trace_strategy()) {
+        prop_assert_eq!(trace.encode(), trace.encode());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected(trace in trace_strategy(), flip in any::<u64>()) {
+        let mut bytes = trace.encode();
+        let i = (flip % bytes.len() as u64) as usize;
+        let bit = 1u8 << (flip % 8);
+        bytes[i] ^= bit;
+        // FNV-1a chains bijective per-byte steps, so one flipped payload
+        // byte always moves the checksum; flips inside the stored
+        // checksum mismatch trivially; flips in the magic are typed.
+        prop_assert!(
+            TrcTrace::decode(&bytes).is_err(),
+            "flip of bit {} at byte {}/{} was accepted", flip % 8, i, bytes.len()
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(trace in trace_strategy(), cut in any::<u64>()) {
+        let bytes = trace.encode();
+        let n = (cut % bytes.len() as u64) as usize;
+        let err = TrcTrace::decode(&bytes[..n]).expect_err("prefix accepted");
+        prop_assert!(
+            matches!(err, TrcError::Truncated(_) | TrcError::ChecksumMismatch { .. }),
+            "prefix {}: unexpected error {:?}", n, err
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_decodes_with_stable_header() {
+    // The fixture is the byte-level contract: if this test fails after
+    // an intentional format change, bump TRC_VERSION, regenerate via
+    // the blessing test in hoard-core (TRC_BLESS=1), and note the
+    // migration in DESIGN.md §12.
+    let bytes = include_bytes!("fixtures/golden.trc");
+    let trace = TrcTrace::decode(bytes).expect("golden fixture decodes");
+    assert_eq!(trace.seed, 42);
+    assert_eq!(trace.config, "golden single-proc");
+    assert!(!trace.is_empty());
+    assert!(trace.allocs() > 0);
+}

@@ -31,6 +31,7 @@ mod rng;
 mod object;
 
 pub mod barnes_hut;
+pub mod server_traffic;
 pub mod trace;
 pub mod bem_like;
 pub mod consume;

@@ -10,10 +10,11 @@
 //!   generator);
 //! * [`synthesize`] — parameterized random-trace generation
 //!   (sizes, lifetimes, cross-thread free fraction) for quick studies;
-//! * [`replay`] — run a trace on any [`MtAllocator`] under the
-//!   simulated machine, with cross-thread frees routed through
-//!   sim-aware channels, returning the usual
-//!   [`WorkloadResult`];
+//! * [`replay`] — run a trace on any [`MtAllocator`] with a
+//!   *deterministic* sequential discrete-event engine (byte-identical
+//!   results across replays of the same trace), returning the usual
+//!   [`WorkloadResult`]; [`replay_concurrent`] is the real-threads
+//!   variant for concurrency stress;
 //! * a line-oriented text serialization (`to_text` / `from_text`) so
 //!   traces can be stored in files and diffed.
 
@@ -21,6 +22,7 @@ use crate::rng::Rng;
 use crate::{LiveMeter, Obj, WorkloadResult};
 use hoard_mem::MtAllocator;
 use hoard_sim::{vchannel, work, Machine, VReceiver, VSender};
+use hoard_trace::{TrcOp, TrcRecord, TrcTrace};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -197,6 +199,145 @@ impl Trace {
         }
         Ok(())
     }
+
+    /// Convert to the on-disk [`TrcTrace`] form: object ids become
+    /// pointer tokens verbatim, `dt` is 0 throughout (an in-memory
+    /// `Trace` carries its timing in explicit `Work` ops, not in
+    /// record timestamps).
+    pub fn to_trc(&self, seed: u64, config: &str) -> TrcTrace {
+        TrcTrace {
+            seed,
+            config: config.to_string(),
+            streams: self
+                .streams
+                .iter()
+                .map(|stream| {
+                    stream
+                        .iter()
+                        .map(|op| TrcRecord {
+                            dt: 0,
+                            op: match *op {
+                                TraceOp::Alloc { id, size } => TrcOp::Alloc {
+                                    token: u64::from(id),
+                                    size,
+                                },
+                                TraceOp::Free { id } => TrcOp::Free {
+                                    token: u64::from(id),
+                                },
+                                TraceOp::Send { id, to } => TrcOp::Send {
+                                    token: u64::from(id),
+                                    to: u32::from(to),
+                                },
+                                TraceOp::Work { units } => TrcOp::Work { units },
+                            },
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Build a replayable `Trace` from a [`TrcTrace`] (captured by the
+    /// allocator's recorder, produced by the server-traffic generator,
+    /// or round-tripped through [`to_trc`](Self::to_trc)).
+    ///
+    /// Pointer tokens are remapped to dense `u32` object ids in
+    /// first-appearance order. Record `dt`s are dropped: replay timing
+    /// comes from driving the allocator itself (plus explicit `Work`
+    /// records), which is what makes replaying one `.trc` twice
+    /// byte-deterministic.
+    ///
+    /// **Cross-stream frees.** A recorded trace has no `Send` records —
+    /// the recorder only sees allocs and frees — so a token allocated on
+    /// stream *a* but freed on stream *t ≠ a* would leave the replaying
+    /// thread *t* without the object. When (and only when) the source
+    /// trace contains no explicit `Send`s, a `Send{id, to: t}` is
+    /// inserted in stream *a* directly after the `Alloc`: the earliest
+    /// deadlock-safe point, since the real run's interleaving proves the
+    /// alloc happens before the free in every consistent order. Traces
+    /// with explicit `Send`s (generator output) are converted verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a free or send references a token never
+    /// allocated in the trace, or a send targets a stream out of range.
+    pub fn from_trc(trc: &TrcTrace) -> Result<Trace, String> {
+        let threads = trc.streams.len();
+        // Pass 1: dense ids in first-appearance order, alloc streams,
+        // and whether any explicit sends exist.
+        let mut ids: HashMap<u64, u32> = HashMap::new();
+        let mut alloc_stream: HashMap<u32, usize> = HashMap::new();
+        let mut has_sends = false;
+        for (t, stream) in trc.streams.iter().enumerate() {
+            for r in stream {
+                match r.op {
+                    TrcOp::Alloc { token, .. } => {
+                        let next = ids.len() as u32;
+                        let id = *ids.entry(token).or_insert(next);
+                        if alloc_stream.insert(id, t).is_some() {
+                            return Err(format!("token {token} allocated twice"));
+                        }
+                    }
+                    TrcOp::Send { .. } => has_sends = true,
+                    TrcOp::Free { .. } | TrcOp::Work { .. } => {}
+                }
+            }
+        }
+        let id_of = |token: u64, what: &str| -> Result<u32, String> {
+            ids.get(&token)
+                .copied()
+                .ok_or_else(|| format!("{what} of token {token} never allocated"))
+        };
+        // Pass 2 (recorded traces only): which stream frees each id,
+        // to synthesize the cross-stream handoffs.
+        let mut inserted_sends: HashMap<u32, u16> = HashMap::new();
+        if !has_sends {
+            for (t, stream) in trc.streams.iter().enumerate() {
+                for r in stream {
+                    if let TrcOp::Free { token } = r.op {
+                        let id = id_of(token, "free")?;
+                        if alloc_stream.get(&id) != Some(&t) {
+                            inserted_sends.insert(id, t as u16);
+                        }
+                    }
+                }
+            }
+        }
+        // Pass 3: emit.
+        let mut streams: Vec<Vec<TraceOp>> = vec![Vec::new(); threads];
+        for (t, stream) in trc.streams.iter().enumerate() {
+            for r in stream {
+                match r.op {
+                    TrcOp::Alloc { token, size } => {
+                        let id = ids[&token];
+                        streams[t].push(TraceOp::Alloc {
+                            id,
+                            size: size.max(1),
+                        });
+                        if let Some(&to) = inserted_sends.get(&id) {
+                            streams[t].push(TraceOp::Send { id, to });
+                        }
+                    }
+                    TrcOp::Free { token } => {
+                        streams[t].push(TraceOp::Free {
+                            id: id_of(token, "free")?,
+                        });
+                    }
+                    TrcOp::Send { token, to } => {
+                        if to as usize >= threads {
+                            return Err(format!("send to nonexistent stream {to}"));
+                        }
+                        streams[t].push(TraceOp::Send {
+                            id: id_of(token, "send")?,
+                            to: to as u16,
+                        });
+                    }
+                    TrcOp::Work { units } => streams[t].push(TraceOp::Work { units }),
+                }
+            }
+        }
+        Ok(Trace { streams })
+    }
 }
 
 /// Incremental trace construction.
@@ -322,12 +463,148 @@ pub fn synthesize(params: &SynthesisParams) -> Trace {
     b.finish().expect("synthesized traces are well-formed")
 }
 
-/// Replay a trace against `alloc` on the simulated machine.
+/// Replay a trace against `alloc` **deterministically**: a sequential
+/// discrete-event engine drives every virtual processor from one real
+/// thread, executing the runnable stream with the smallest virtual
+/// clock (ties broken by processor id) one event at a time.
+///
+/// Because execution order is a pure function of the trace and the cost
+/// model — host thread scheduling never enters — replaying the same
+/// trace twice on the same allocator configuration yields
+/// **byte-identical** results: the makespan, every per-processor clock,
+/// and the allocator's entire metrics state. This is the property the
+/// `.trc` pipeline's CI determinism gate checks.
+///
+/// Semantics mirror [`replay_concurrent`]: per-thread program order is
+/// preserved, virtual lock serialization and cache-line transfer
+/// charges apply identically, and a cross-thread free cannot execute
+/// before (in virtual time) its `Send` plus the channel-transfer cost.
+/// Sent objects are delivered lazily — a stream whose next event is a
+/// `Free` of an object still in flight simply is not runnable until the
+/// sender catches up.
+///
+/// # Panics
+///
+/// Panics if the trace deadlocks (a `Free` waits for a `Send` that
+/// never executes); [`Trace::validate`]d traces cannot.
+pub fn replay(alloc: &dyn MtAllocator, trace: &Trace) -> WorkloadResult {
+    hoard_sim::reset_cache();
+    let threads = trace.threads().max(1);
+    let meter = LiveMeter::new();
+    let transfer_cost = hoard_sim::CostModel::current().channel_transfer;
+
+    let clocks = hoard_sim::sequential_scope(threads, || {
+        let mut clocks: Vec<u64> = vec![0; threads];
+        let mut pcs: Vec<usize> = vec![0; threads];
+        // Objects each processor holds, and objects sent to it but not
+        // yet picked up: (id, object, virtual arrival time).
+        let mut objects: Vec<HashMap<u32, Obj>> = (0..threads).map(|_| HashMap::new()).collect();
+        let mut inbox: Vec<Vec<(u32, Obj, u64)>> = (0..threads).map(|_| Vec::new()).collect();
+
+        loop {
+            // Pick the runnable stream with the smallest (clock, proc).
+            let mut next: Option<usize> = None;
+            let mut live_streams = false;
+            for p in 0..threads {
+                let Some(op) = trace.streams.get(p).and_then(|s| s.get(pcs[p])) else {
+                    continue;
+                };
+                live_streams = true;
+                if let TraceOp::Free { id } = *op {
+                    let held =
+                        objects[p].contains_key(&id) || inbox[p].iter().any(|(i, ..)| *i == id);
+                    if !held {
+                        continue; // still in flight: blocked
+                    }
+                }
+                if next.is_none_or(|b| clocks[p] < clocks[b]) {
+                    next = Some(p);
+                }
+            }
+            let Some(p) = next else {
+                assert!(
+                    !live_streams,
+                    "replay deadlocked: a free waits on a send that never executes"
+                );
+                break;
+            };
+
+            hoard_sim::switch_context(p, clocks[p]);
+            match trace.streams[p][pcs[p]] {
+                TraceOp::Alloc { id, size } => {
+                    let obj = Obj::alloc(alloc, &meter, size as usize);
+                    obj.write();
+                    objects[p].insert(id, obj);
+                }
+                TraceOp::Free { id } => {
+                    let obj = match objects[p].remove(&id) {
+                        Some(obj) => obj,
+                        None => {
+                            // Pick up from the inbox: the free happens
+                            // no earlier than the message's arrival.
+                            let i = inbox[p]
+                                .iter()
+                                .position(|(got, ..)| *got == id)
+                                .expect("runnable free holds its object");
+                            let (_, obj, arrives) = inbox[p].swap_remove(i);
+                            hoard_sim::set_clock(arrives);
+                            obj
+                        }
+                    };
+                    obj.free(alloc, &meter);
+                }
+                TraceOp::Send { id, to } => {
+                    let obj = objects[p].remove(&id).expect("send of object not held");
+                    let arrives = hoard_sim::now() + transfer_cost;
+                    inbox[to as usize].push((id, obj, arrives));
+                }
+                TraceOp::Work { units } => work(units as u64),
+            }
+            clocks[p] = hoard_sim::now();
+            pcs[p] += 1;
+        }
+
+        // Anything still held (sent but never freed by the trace) is
+        // freed at exit by its holder, in deterministic (proc, id)
+        // order, to keep accounting clean.
+        for p in 0..threads {
+            for (id, obj, arrives) in std::mem::take(&mut inbox[p]) {
+                clocks[p] = clocks[p].max(arrives);
+                objects[p].insert(id, obj);
+            }
+            let mut ids: Vec<u32> = objects[p].keys().copied().collect();
+            ids.sort_unstable();
+            hoard_sim::switch_context(p, clocks[p]);
+            for id in ids {
+                let obj = objects[p].remove(&id).expect("listed above");
+                obj.free(alloc, &meter);
+            }
+            clocks[p] = hoard_sim::now();
+        }
+        clocks
+    });
+
+    WorkloadResult {
+        makespan: clocks.iter().copied().max().unwrap_or(0),
+        ops: trace.len() as u64,
+        max_live_requested: meter.peak(),
+        snapshot: alloc.stats(),
+        report: hoard_sim::RunReport::from_per_processor(clocks),
+    }
+}
+
+/// Replay a trace against `alloc` on the simulated machine with **real
+/// concurrency**: one OS thread per virtual processor, exercising the
+/// allocator's actual lock and atomic paths under genuine interleaving.
+///
+/// Use this to stress-test correctness; use [`replay`] when results
+/// must be reproducible (virtual timings here vary slightly run to run
+/// because host scheduling resolves virtual-time ties).
 ///
 /// Cross-thread frees are delivered through sim channels (the receiving
 /// thread polls its mailbox between events), so remote frees really are
 /// performed by the remote thread, as in the Larson benchmark.
-pub fn replay(alloc: &dyn MtAllocator, trace: &Trace) -> WorkloadResult {
+pub fn replay_concurrent(alloc: &dyn MtAllocator, trace: &Trace) -> WorkloadResult {
     hoard_sim::reset_cache();
     let threads = trace.threads().max(1);
     let meter = LiveMeter::new();
@@ -484,16 +761,40 @@ mod tests {
     }
 
     #[test]
-    fn replay_is_deterministic_single_thread() {
+    fn replay_is_deterministic_across_threads() {
+        // The sequential engine must be bit-deterministic even for
+        // multi-threaded traces with cross-thread frees — the property
+        // the .trc pipeline's CI gate relies on.
         let trace = synthesize(&SynthesisParams {
-            threads: 1,
+            threads: 4,
             allocs_per_thread: 500,
+            remote_free_permille: 250,
             ..Default::default()
         });
         let a = replay(&HoardAllocator::new_default(), &trace);
         let b = replay(&HoardAllocator::new_default(), &trace);
         assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.report.per_processor(), b.report.per_processor());
         assert_eq!(a.max_live_requested, b.max_live_requested);
+        assert_eq!(a.snapshot, b.snapshot);
+    }
+
+    #[test]
+    fn concurrent_replay_agrees_with_deterministic_on_counts() {
+        let trace = synthesize(&SynthesisParams {
+            threads: 3,
+            allocs_per_thread: 300,
+            remote_free_permille: 150,
+            ..Default::default()
+        });
+        let seq = replay(&HoardAllocator::new_default(), &trace);
+        let conc = replay_concurrent(&HoardAllocator::new_default(), &trace);
+        // Interleaving-independent accounting must agree exactly; only
+        // timing-dependent quantities (makespan, peaks) may differ.
+        assert_eq!(seq.snapshot.allocs, conc.snapshot.allocs);
+        assert_eq!(seq.snapshot.frees, conc.snapshot.frees);
+        assert_eq!(seq.snapshot.live_current, 0);
+        assert_eq!(conc.snapshot.live_current, 0);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Replay-determinism tests for the `.trc` pipeline: generated server
+//! traffic must replay to identical virtual-time results on every run,
+//! and a replay captured through the recorder must preserve the
+//! trace's operation counts exactly.
+
+use hoard_core::{HoardAllocator, HoardConfig, TrcRecorder};
+use hoard_workloads::server_traffic::{self, Params};
+use hoard_workloads::trace::{replay, Trace};
+use std::sync::Arc;
+
+fn small_traffic() -> (hoard_core::TrcTrace, server_traffic::GenSummary) {
+    server_traffic::generate(&Params {
+        workers: 2,
+        sessions: 800,
+        seed: 7,
+        ..Params::default()
+    })
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let (a, sa) = small_traffic();
+    let (b, sb) = small_traffic();
+    assert_eq!(a.encode(), b.encode(), "same params → same bytes");
+    assert_eq!(sa.sessions, sb.sessions);
+    assert_eq!(sa.peak_live, sb.peak_live);
+}
+
+#[test]
+fn replay_is_deterministic_across_runs() {
+    let (trc, _) = small_traffic();
+    let trace = Trace::from_trc(&trc).expect("generated trace converts");
+
+    let run = || {
+        let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+        replay(&h, &trace)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan, "virtual makespan must not drift");
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.max_live_requested, b.max_live_requested);
+    assert_eq!(a.snapshot, b.snapshot, "allocator counters must match");
+}
+
+#[test]
+fn capture_during_replay_preserves_counts() {
+    let (trc, summary) = small_traffic();
+    let trace = Trace::from_trc(&trc).expect("generated trace converts");
+
+    let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let rec = Arc::new(TrcRecorder::new(trc.seed, "recapture", 2));
+    h.attach_recorder(rec.clone());
+    let result = replay(&h, &trace);
+
+    // Every session allocated once and the replay drains all leftovers,
+    // so the recapture must see exactly the original op counts.
+    let stats = rec.stats();
+    assert_eq!(stats.allocs, summary.sessions);
+    assert_eq!(stats.frees, stats.allocs, "replay drains everything");
+    assert_eq!(stats.unmatched_frees, 0);
+    assert_eq!(result.snapshot.live_current, 0);
+
+    let recaptured = rec.trace();
+    assert_eq!(recaptured.allocs(), trc.allocs());
+
+    // The recaptured trace is itself replayable (Send/Work context is
+    // gone, so only the operation counts carry over — not timing).
+    let trace2 = Trace::from_trc(&recaptured).expect("recapture converts");
+    let h2 = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let second = replay(&h2, &trace2);
+    assert_eq!(second.snapshot.allocs, summary.sessions);
+    assert_eq!(second.snapshot.frees, second.snapshot.allocs);
+    assert_eq!(second.snapshot.live_current, 0);
+}

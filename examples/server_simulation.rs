@@ -1,52 +1,94 @@
-//! A Larson-style server simulation on the simulated multiprocessor,
-//! comparing every allocator in the paper's sweep.
+//! A server simulation on the `hoard-trc` pipeline, comparing every
+//! allocator in the paper's sweep against one shared traffic trace.
 //!
-//! Models a server where worker threads accept "connections" (allocate
-//! a session object), serve requests (write the session), and hand
-//! sessions to other workers for teardown (remote frees) — the traffic
-//! pattern that separates the allocator classes in the paper's Larson
-//! figure.
+//! Instead of each allocator running its own randomized workload, a
+//! single server-shaped `.trc` trace is generated once (Poisson
+//! arrivals, long-tail session lifetimes, tenant churn, connection
+//! storms, cross-worker teardown) and deterministically replayed
+//! against every allocator — the same sessions, in the same order, for
+//! every contender. Differences in makespan, remote frees and
+//! fragmentation are then attributable to the allocator alone.
+//!
+//! The run is checked, not just printed: every allocator must serve
+//! every session in the trace and end with zero live bytes. Any
+//! shortfall (a dropped session, a leak, an allocation failure) makes
+//! the process exit non-zero, so CI smoke runs cannot pass vacuously.
 //!
 //! ```text
 //! cargo run --release --example server_simulation
 //! ```
 
 use hoard_harness::AllocatorKind;
-use hoard_workloads::larson::{self, Params};
+use hoard_workloads::server_traffic::{self, Params};
+use hoard_workloads::trace::{replay, Trace};
 
 fn main() {
     let params = Params {
-        slots_per_thread: 300,
-        rounds: 3,
-        ops_per_round: 2_000,
-        min_size: 32,
-        max_size: 512,
+        workers: 4,
+        sessions: 20_000,
         ..Params::default()
     };
-    let threads = [1usize, 4, 8, 14];
+    let (trc, summary) = server_traffic::generate(&params);
+    let trace = match Trace::from_trc(&trc) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("generated trace failed to convert: {e}");
+            std::process::exit(2);
+        }
+    };
 
-    println!("larson-style server: {params:?}\n");
     println!(
-        "{:<10} {:>6} {:>14} {:>12} {:>12}",
-        "allocator", "P", "makespan", "throughput", "remote frees"
+        "server traffic: {} sessions, {} workers, {} storms, {} evictions, {} migrated, peak {} live\n",
+        summary.sessions, params.workers, summary.storms, summary.evictions,
+        summary.migrated, summary.peak_live
     );
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>14} {:>8}",
+        "allocator", "makespan", "throughput", "remote frees", "frag (A/U)", "status"
+    );
+
+    let mut failures = 0u32;
     for kind in AllocatorKind::sweep() {
-        for &p in &threads {
-            // Fresh instance per run: virtual-time state must not leak
-            // across measurements.
-            let alloc = kind.build();
-            let result = larson::run(&*alloc, p, &params);
-            println!(
-                "{:<10} {:>6} {:>14} {:>12.1} {:>12}",
+        // Fresh instance per run: virtual-time state must not leak
+        // across measurements.
+        let alloc = kind.build();
+        let result = replay(&*alloc, &trace);
+        let s = &result.snapshot;
+        let served_all = s.allocs == summary.sessions;
+        let drained = s.frees == s.allocs && s.live_current == 0;
+        let ok = served_all && drained;
+        let frag = if s.live_peak == 0 {
+            0.0
+        } else {
+            s.held_peak as f64 / s.live_peak as f64
+        };
+        println!(
+            "{:<10} {:>14} {:>12.1} {:>12} {:>14.2} {:>8}",
+            kind.label(),
+            result.makespan,
+            result.throughput(),
+            s.remote_frees,
+            frag,
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+            eprintln!(
+                "{}: served {}/{} sessions, freed {}/{}, {} bytes still live",
                 kind.label(),
-                p,
-                result.makespan,
-                result.throughput(),
-                result.snapshot.remote_frees
+                s.allocs,
+                summary.sessions,
+                s.frees,
+                s.allocs,
+                s.live_current
             );
         }
-        println!();
     }
-    println!("throughput = slot replacements per Munit of virtual time");
-    println!("(see DESIGN.md for the virtual-time SMP model)");
+
+    println!("\nthroughput = trace operations per Munit of virtual time");
+    println!("frag = held-peak over requested-live-peak, the paper's A/U");
+    if failures > 0 {
+        eprintln!("\n{failures} allocator(s) dropped sessions or leaked — failing");
+        std::process::exit(1);
+    }
 }
