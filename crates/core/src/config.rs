@@ -82,6 +82,18 @@ pub struct HoardConfig {
     /// be non-zero when this is on.
     #[serde(default)]
     pub lockfree_backend: bool,
+    /// Let the online feedback controller retune the allocator while it
+    /// runs: per-size-class magazine capacities and refill/flush batch
+    /// sizes (seeded `∝ S / block_size` instead of the flat
+    /// `magazine_capacity` scalar), and — under transfer storms — the
+    /// emptiness thresholds `K`/`f`, within the clamps derived in
+    /// DESIGN.md §13 so the paper's blowup bound survives. Ticks on the
+    /// *virtual* clock from `MetricsSnapshot` deltas, so tuned runs stay
+    /// replay-deterministic. Off (the default) reproduces the static
+    /// configuration bit for bit; on requires the magazine front-end,
+    /// whose refill/flush paths drive the controller.
+    #[serde(default)]
+    pub adaptive_tuning: bool,
 }
 
 impl HoardConfig {
@@ -97,6 +109,7 @@ impl HoardConfig {
             hardening: HardeningLevel::Off,
             magazine_capacity: 0,
             lockfree_backend: false,
+            adaptive_tuning: false,
         }
     }
 
@@ -104,6 +117,13 @@ impl HoardConfig {
     /// lock-free back-end — the full rpmalloc-style stack.
     pub const fn with_lockfree() -> Self {
         Self::with_default_magazines().with_lockfree_backend(true)
+    }
+
+    /// The paper's configuration plus the magazine front-end with the
+    /// online feedback controller steering it (size-class-proportional
+    /// capacities, adaptive batches, storm-damped thresholds).
+    pub const fn with_adaptive() -> Self {
+        Self::with_default_magazines().with_adaptive_tuning(true)
     }
 
     /// The paper's configuration plus the thread-local magazine
@@ -166,6 +186,13 @@ impl HoardConfig {
         self
     }
 
+    /// Enable or disable the online feedback controller (requires a
+    /// non-zero magazine capacity; see the field docs).
+    pub const fn with_adaptive_tuning(mut self, yes: bool) -> Self {
+        self.adaptive_tuning = yes;
+        self
+    }
+
     /// Largest request served from superblocks; larger allocations go
     /// straight to the chunk source (the paper's `S/2` rule).
     pub const fn large_threshold(&self) -> usize {
@@ -196,6 +223,9 @@ impl HoardConfig {
         }
         if self.lockfree_backend && self.magazine_capacity == 0 {
             return Err(ConfigError::LockfreeNeedsMagazines);
+        }
+        if self.adaptive_tuning && self.magazine_capacity == 0 {
+            return Err(ConfigError::AdaptiveNeedsMagazines);
         }
         Ok(())
     }
@@ -254,6 +284,10 @@ pub enum ConfigError {
     /// lock-free back-end hangs superblock ownership off the per-thread
     /// magazine slots, so it cannot run without them.
     LockfreeNeedsMagazines,
+    /// `adaptive_tuning` is on but the magazine front-end is off; the
+    /// controller's sensors and actuators both live on the magazine
+    /// refill/flush paths, so it has nothing to steer without them.
+    AdaptiveNeedsMagazines,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -279,6 +313,12 @@ impl std::fmt::Display for ConfigError {
                 write!(
                     f,
                     "the lock-free back-end requires a non-zero magazine capacity"
+                )
+            }
+            ConfigError::AdaptiveNeedsMagazines => {
+                write!(
+                    f,
+                    "adaptive tuning requires a non-zero magazine capacity"
                 )
             }
         }
@@ -409,6 +449,25 @@ mod tests {
             HoardConfig::new().with_lockfree_backend(true).validate(),
             Err(ConfigError::LockfreeNeedsMagazines)
         );
+    }
+
+    #[test]
+    fn adaptive_tuning_defaults_off_and_requires_magazines() {
+        assert!(!HoardConfig::new().adaptive_tuning, "controller off by default");
+        const C: HoardConfig = HoardConfig::with_adaptive();
+        const { assert!(C.adaptive_tuning && C.magazine_capacity > 0) };
+        assert!(C.validate().is_ok());
+        assert_eq!(
+            HoardConfig::new().with_adaptive_tuning(true).validate(),
+            Err(ConfigError::AdaptiveNeedsMagazines)
+        );
+        // Configs serialized before the controller existed still parse,
+        // with tuning off.
+        let old = "{\"superblock_size\":8192,\"empty_fraction_num\":1,\
+                   \"empty_fraction_den\":2,\"slack_k\":2,\"heap_count\":16,\
+                   \"release_empty_to_os\":false}";
+        let parsed: HoardConfig = serde_json::from_str(old).unwrap();
+        assert!(!parsed.adaptive_tuning);
     }
 
     #[test]

@@ -179,7 +179,10 @@ pub unsafe fn block_owner<Src: ChunkSource>(
 /// the global heap only if that thread also waits on a scanned heap —
 /// tests call this at quiescent points).
 pub fn validate<Src: ChunkSource>(alloc: &HoardAllocator<Src>) -> Validation {
-    let cfg = *alloc.config();
+    // The *effective* config: with adaptive tuning the controller may
+    // have loosened K/f, and the invariant/f-emptiness observations
+    // must be judged against the thresholds the allocator actually ran.
+    let cfg = alloc.effective_config();
     let mut heaps = Vec::new();
     let mut errors = Vec::new();
 

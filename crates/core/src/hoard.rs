@@ -34,6 +34,7 @@ use crate::harden::{self, CorruptionKind, CorruptionLog, SuperblockRegistry};
 use crate::heap::Heap;
 use crate::magazine::{Magazine, MagazineSlot, SlotClaim, SlotHeap, MAG_CLASSES, MAG_SLOTS};
 use crate::superblock::Superblock;
+use crate::tuning::{TuneAction, TuneState, MAX_TUNE_ACTIONS};
 use crate::MAX_HEAPS;
 use hoard_mem::{
     large, read_header, try_read_header, write_header, AllocSnapshot, AllocStats, ChunkSource,
@@ -190,6 +191,12 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     /// stream — sizes, pointer tokens, per-proc program order — that
     /// `hoardscope record` writes to disk.
     recorder: AtomicPtr<TrcRecorder>,
+    /// Online feedback controller (DESIGN.md §13): per-class magazine
+    /// capacities/batches and tuned emptiness thresholds, stepped on
+    /// the virtual clock from metrics deltas when
+    /// `config.adaptive_tuning`. Inert (holding the static values)
+    /// otherwise.
+    tuning: TuneState,
 }
 
 impl HoardAllocator<SystemSource> {
@@ -234,6 +241,7 @@ impl HoardAllocator<SystemSource> {
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
             recorder: AtomicPtr::new(std::ptr::null_mut()),
+            tuning: TuneState::for_config(&config),
         }
     }
 }
@@ -262,6 +270,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
             recorder: AtomicPtr::new(std::ptr::null_mut()),
+            tuning: TuneState::for_config(&config),
         })
     }
 
@@ -478,6 +487,64 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         self.config.magazine_capacity != 0
     }
 
+    /// The *effective* configuration for emptiness-invariant decisions:
+    /// the static config with the feedback controller's tuned `K`/`f`
+    /// substituted. Returns `config` verbatim when tuning is off, so
+    /// every invariant check below behaves exactly as before the
+    /// controller existed.
+    #[inline]
+    fn policy(&self) -> HoardConfig {
+        self.tuning.policy(&self.config)
+    }
+
+    /// Public view of [`policy`](Self::policy): the configuration the
+    /// allocator is *currently* running (tuned thresholds included) —
+    /// what external invariant checks (`debug::validate`) and the
+    /// tuning tests should validate against.
+    pub fn effective_config(&self) -> HoardConfig {
+        self.policy()
+    }
+
+    /// The magazine capacity currently in force for `class` — the
+    /// controller's per-class actuator (equals
+    /// `config.magazine_capacity` for every class when tuning is off).
+    pub fn magazine_capacity_for(&self, class: usize) -> usize {
+        if class < MAG_CLASSES {
+            self.tuning.capacity(class)
+        } else {
+            0
+        }
+    }
+
+    /// One step of the online feedback controller (DESIGN.md §13),
+    /// called from the magazine refill/flush slow paths *before* any
+    /// lock is taken. At most one thread claims a tick per
+    /// `TUNE_INTERVAL` of virtual time (CAS on the last-tick stamp),
+    /// pays `Cost::TuneTick`, reads the metrics registry, and steps the
+    /// actuators — so the tick sequence, and with it every tuned trace,
+    /// is deterministic under `.trc` replay. With no registry attached
+    /// there are no sensors and the controller holds its seed policy.
+    fn maybe_tune(&self) {
+        if !self.tuning.enabled() {
+            return;
+        }
+        let Some(m) = self.metrics_ref() else {
+            return;
+        };
+        if !self.tuning.maybe_tick(now()) {
+            return;
+        }
+        charge_cost(Cost::TuneTick);
+        let snap = m.snapshot();
+        let mut actions: [Option<TuneAction>; MAX_TUNE_ACTIONS] =
+            [const { None }; MAX_TUNE_ACTIONS];
+        let n = self.tuning.tick(&self.config, &snap, &mut actions);
+        for a in actions.iter().take(n).flatten() {
+            let (kind, arg0, arg1) = a.as_event();
+            self.emit(kind, arg0, arg1);
+        }
+    }
+
     /// Whether the lock-free back-end is enabled (implies magazines;
     /// enforced by `HoardConfig::validate`).
     fn lockfree(&self) -> bool {
@@ -578,6 +645,9 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 }
                 self.stats.on_magazine_refill();
                 self.emit(EventKind::MagazineRefill, class as u32, got as u64);
+                if let Some(m) = self.metrics_ref() {
+                    m.on_magazine_refill(self.heap_index_for_current_thread(), class);
+                }
                 (mag.pop()?, false)
             }
         };
@@ -621,6 +691,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// remote frees first (the producer–consumer return path). Returns
     /// the number of blocks obtained (0 = heap and source exhausted).
     unsafe fn refill_magazine(&self, class: usize, mag: &mut Magazine) -> usize {
+        self.maybe_tune();
         let block_size = self.classes.class(class).block_size;
         let s = self.config.superblock_size;
         let hi = self.heap_index_for_current_thread();
@@ -636,7 +707,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         // parked); recover them before pulling fresh memory.
         let mut trigger = self.drain_full_group_remotes(heap, class);
 
-        let want = (self.config.magazine_capacity / 2).max(1);
+        let want = self.tuning.batch(class);
         let mut got = 0usize;
         let mut escalated = false;
         while got < want {
@@ -706,7 +777,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             }
             heap.u.fetch_add(taken * block_size as u64, Relaxed);
             heap.relink(sb);
-            if !self.config.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+            if !self.policy().f_empty_blocks((*sb).in_use, (*sb).capacity) {
                 (*sb).armed = true;
             }
         }
@@ -735,9 +806,12 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             };
             let class = (*sb).class as usize;
             let mag = claim.magazine(class);
-            if mag.len() >= self.config.magazine_capacity {
+            if mag.len() >= self.tuning.capacity(class) {
                 self.flush_magazine(class, mag);
                 self.stats.on_magazine_flush();
+                if let Some(m) = self.metrics_ref() {
+                    m.on_magazine_flush(owner, class);
+                }
             }
             if !self.harden_on_stash(sb, payload, block_size) {
                 return true; // quarantined: handled, nothing stashed
@@ -808,12 +882,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// lock-free deferred stacks (never a second heap lock — the lock
     /// order stays per-processor → global).
     unsafe fn flush_magazine(&self, class: usize, mag: &mut Magazine) {
+        self.maybe_tune();
         if let Some(m) = self.metrics_ref() {
             // Flushes only run on a full magazine; record the boundary.
             m.on_magazine_level(mag.len() as u64);
         }
         let mut batch = [std::ptr::null_mut(); crate::magazine::MAX_MAGAZINE_CAPACITY];
-        let n = mag.take_oldest((self.config.magazine_capacity / 2).max(1), &mut batch);
+        let n = mag.take_oldest(self.tuning.batch(class), &mut batch);
         let hi = self.heap_index_for_current_thread();
         let heap = &self.heaps[hi];
         let _guard = self.lock_heap(heap, hi);
@@ -836,14 +911,14 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 }
             }
             if Superblock::owner(sb) == hi {
-                let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                let pol = self.policy();
+                let was_f_empty = pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
                 Superblock::free_block(sb, p);
                 heap.u.fetch_sub((*sb).block_size as u64, Relaxed);
                 heap.relink(sb);
-                let crossed =
-                    !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
-                let too_many_empties = (*sb).in_use == 0
-                    && heap.empty_count.load(Relaxed) > self.config.slack_k;
+                let crossed = !was_f_empty && pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                let too_many_empties =
+                    (*sb).in_use == 0 && heap.empty_count.load(Relaxed) > pol.slack_k;
                 trigger |= ((*sb).armed && crossed) || too_many_empties;
                 if crossed {
                     (*sb).armed = false;
@@ -876,7 +951,8 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         if p.is_null() {
             return false;
         }
-        let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let pol = self.policy();
+        let was_f_empty = pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
         let block_size = (*sb).block_size as u64;
         while !p.is_null() {
             let next = Superblock::remote_next(sb, p);
@@ -887,9 +963,9 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         heap.relink(sb);
         self.stats.on_remote_drain();
         self.emit(EventKind::RemoteFreeDrain, (*sb).class, n as u64);
-        let crossed = !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let crossed = !was_f_empty && pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
         let too_many_empties =
-            (*sb).in_use == 0 && heap.empty_count.load(Relaxed) > self.config.slack_k;
+            (*sb).in_use == 0 && heap.empty_count.load(Relaxed) > pol.slack_k;
         let trigger = ((*sb).armed && crossed) || too_many_empties;
         if crossed {
             (*sb).armed = false;
@@ -1063,6 +1139,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         class: usize,
         mag: &mut Magazine,
     ) -> usize {
+        self.maybe_tune();
         let block_size = self.classes.class(class).block_size;
         let s = self.config.superblock_size;
         let me = SLOT_OWNER_BASE + slot_idx;
@@ -1075,7 +1152,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         // (the invariant bounds them), so one whole-class sweep covers
         // what the locked path does in two.
         let mut trigger = self.drain_slot_class(sh, class);
-        let want = (self.config.magazine_capacity / 2).max(1);
+        let want = self.tuning.batch(class);
         let mut got = 0usize;
         while got < want {
             // The same waterfall as `refill_magazine`, against the
@@ -1133,7 +1210,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 got += 1;
             }
             sh.u += taken * block_size as u64;
-            if !self.config.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+            if !self.policy().f_empty_blocks((*sb).in_use, (*sb).capacity) {
                 (*sb).armed = true;
             }
         }
@@ -1201,9 +1278,12 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 // re-check below makes the read stable for the stash.
                 if Superblock::owner(sb) == me {
                     let mag = claim.magazine(class);
-                    if mag.len() >= self.config.magazine_capacity {
+                    if mag.len() >= self.tuning.capacity(class) {
                         self.flush_magazine_lockfree(claim.heap(), slot_idx, class, mag);
                         self.stats.on_magazine_flush();
+                        if let Some(m) = self.metrics_ref() {
+                            m.on_magazine_flush(self.heap_index_for_current_thread(), class);
+                        }
                     }
                     if !self.harden_on_stash(sb, payload, block_size) {
                         return; // quarantined: handled, nothing stashed
@@ -1297,7 +1377,8 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         if p.is_null() {
             return false;
         }
-        let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let pol = self.policy();
+        let was_f_empty = pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
         let block_size = (*sb).block_size as u64;
         while !p.is_null() {
             let next = Superblock::remote_next(sb, p);
@@ -1308,8 +1389,8 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         sh.relink(sb);
         self.stats.on_remote_drain();
         self.emit(EventKind::RemoteFreeDrain, (*sb).class, n as u64);
-        let crossed = !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
-        let too_many_empties = (*sb).in_use == 0 && sh.empty_count > self.config.slack_k;
+        let crossed = !was_f_empty && pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
+        let too_many_empties = (*sb).in_use == 0 && sh.empty_count > pol.slack_k;
         let trigger = ((*sb).armed && crossed) || too_many_empties;
         if crossed {
             (*sb).armed = false;
@@ -1344,12 +1425,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         class: usize,
         mag: &mut Magazine,
     ) {
+        self.maybe_tune();
         if let Some(m) = self.metrics_ref() {
             // Flushes only run on a full magazine; record the boundary.
             m.on_magazine_level(mag.len() as u64);
         }
         let mut batch = [std::ptr::null_mut(); crate::magazine::MAX_MAGAZINE_CAPACITY];
-        let n = mag.take_oldest((self.config.magazine_capacity / 2).max(1), &mut batch);
+        let n = mag.take_oldest(self.tuning.batch(class), &mut batch);
         let me = SLOT_OWNER_BASE + slot_idx;
         self.emit(EventKind::MagazineFlush, class as u32, n as u64);
         let mut trigger = false;
@@ -1366,14 +1448,13 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 }
             }
             if Superblock::owner(sb) == me {
-                let was_f_empty = self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                let pol = self.policy();
+                let was_f_empty = pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
                 Superblock::free_block(sb, p);
                 sh.u -= (*sb).block_size as u64;
                 sh.relink(sb);
-                let crossed =
-                    !was_f_empty && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
-                let too_many_empties =
-                    (*sb).in_use == 0 && sh.empty_count > self.config.slack_k;
+                let crossed = !was_f_empty && pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                let too_many_empties = (*sb).in_use == 0 && sh.empty_count > pol.slack_k;
                 trigger |= ((*sb).armed && crossed) || too_many_empties;
                 if crossed {
                     (*sb).armed = false;
@@ -1396,15 +1477,16 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// lock. Caller holds the slot's claim.
     unsafe fn restore_slot_invariant(&self, sh: &mut SlotHeap, _slot_idx: usize) {
         let mut moved_partial = false;
+        let pol = self.policy();
         loop {
-            if !self.config.invariant_violated(sh.u, sh.a) {
+            if !pol.invariant_violated(sh.u, sh.a) {
                 return;
             }
             let (victim, used) = if moved_partial {
                 // Only empties may continue the loop.
                 (sh.pop_empty(), 0)
             } else {
-                sh.take_emptiest(&self.config)
+                sh.take_emptiest(&pol)
             };
             if victim.is_null() {
                 return; // nothing eligible (transient; see module docs)
@@ -1597,7 +1679,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         heap.relink(sb);
         // Re-arm the eviction latch once the superblock fills back past
         // the f-emptiness boundary (see `free_small`).
-        if !self.config.f_empty_blocks((*sb).in_use, (*sb).capacity) {
+        if !self.policy().f_empty_blocks((*sb).in_use, (*sb).capacity) {
             (*sb).armed = true;
         }
         self.stats.on_alloc(block_size as u64);
@@ -1780,8 +1862,8 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 self.log.on_quarantine();
                 return;
             }
-            let was_f_empty =
-                self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+            let pol = self.policy();
+            let was_f_empty = pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
             Superblock::free_block(sb, payload);
             if self.config.hardening.detects() {
                 // Retag the header so a second free of this pointer is
@@ -1815,14 +1897,14 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
                 // one through the global heap on every operation: the
                 // role the paper assigns to its emptiness groups.
                 let crossed = !was_f_empty
-                    && self.config.f_empty_blocks((*sb).in_use, (*sb).capacity);
+                    && pol.f_empty_blocks((*sb).in_use, (*sb).capacity);
                 // A completely drained superblock first parks on the
                 // heap's empty list, where *any* size class can recycle
                 // it; only when the heap hoards more than K empties does
                 // the drain trigger restoration (K = the paper's bound on
                 // a heap's free-space slack).
                 let too_many_empties = (*sb).in_use == 0
-                    && heap.empty_count.load(Relaxed) > self.config.slack_k;
+                    && heap.empty_count.load(Relaxed) > pol.slack_k;
                 let trigger = ((*sb).armed && crossed) || too_many_empties || drain_trigger;
                 if crossed {
                     (*sb).armed = false;
@@ -1848,17 +1930,18 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
     /// states. Caller holds heap `hi`'s lock.
     unsafe fn restore_invariant(&self, heap: &Heap, hi: usize) {
         let mut moved_partial = false;
+        let pol = self.policy();
         loop {
             let u = heap.u.load(Relaxed);
             let a = heap.a.load(Relaxed);
-            if !self.config.invariant_violated(u, a) {
+            if !pol.invariant_violated(u, a) {
                 return;
             }
             let (victim, used) = if moved_partial {
                 // Only empties may continue the loop.
                 (heap.pop_empty(), 0)
             } else {
-                heap.take_emptiest(&self.config)
+                heap.take_emptiest(&pol)
             };
             if victim.is_null() {
                 return; // nothing eligible (transient; see module docs)

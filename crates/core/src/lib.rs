@@ -48,6 +48,7 @@ mod hoard;
 mod list;
 mod magazine;
 mod superblock;
+mod tuning;
 
 pub mod debug;
 
@@ -59,7 +60,7 @@ pub use hoard_mem::{SizeClass, SizeClassTable, MAX_CLASSES};
 // The observability layer (see DESIGN.md §10): re-exported so harness
 // and tests attach tracers/registries without naming hoard-trace.
 pub use hoard_trace::{
-    chrome_trace_json, jsonio, Event, EventKind, HistogramSnapshot, MetricsRegistry,
+    chrome_trace_json, jsonio, ClassTotals, Event, EventKind, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, RecorderStats, RegistryMetrics, TraceConfig, TraceLog, TraceSink, TrackLog,
     TrcError, TrcOp, TrcReader, TrcRecord, TrcRecorder, TrcTrace, TrcWriter, CHROME_PID,
 };

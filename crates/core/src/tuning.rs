@@ -1,0 +1,686 @@
+//! The online feedback controller: telemetry-driven self-tuning.
+//!
+//! When [`HoardConfig::adaptive_tuning`] is on, the allocator stops
+//! treating `magazine_capacity` as one scalar and instead runs a small
+//! control loop over the metrics registry (DESIGN.md §13):
+//!
+//! * **Sensors** — per-size-class deltas of allocations, frees,
+//!   magazine hits, refills and flushes ([`ClassTotals`]) plus the
+//!   superblock transfer rate, read from the attached
+//!   [`MetricsRegistry`](hoard_trace::MetricsRegistry) once per tick.
+//!   No registry attached ⇒ no sensors ⇒ the controller idles at its
+//!   seed policy.
+//! * **Actuators** — per-class magazine capacity and refill/flush batch
+//!   size (relaxed `AtomicU32`s read on every refill/flush), and the
+//!   emptiness thresholds `K`/`f` (read through [`TuneState::policy`]).
+//! * **Clock** — the sim's *virtual* clock. A tick is claimed by CAS on
+//!   the last-tick timestamp, so exactly one thread pays
+//!   `Cost::TuneTick` per interval and a `.trc` replay reproduces the
+//!   identical tick sequence: the controller keeps traces
+//!   byte-deterministic (`hoardscope trc replay --twice`).
+//!
+//! Tuning never widens the paper's bounds past a constant: capacities
+//! stay ≤ [`MAX_MAGAZINE_CAPACITY`], `K` is clamped to the configured
+//! slack + [`MAX_SLACK_BOOST`], and `f` to ≤ 3/4, so the blowup bound
+//! `A ≤ U/(1−f) + K·P·S` survives with `f = 3/4`, `K = K₀ + 4` in the
+//! worst case. With `adaptive_tuning` off every actuator holds its
+//! static value and the allocator is bit-identical to the untuned
+//! build (enforced by `crates/core/tests/magazine.rs`).
+
+use crate::config::HoardConfig;
+use crate::magazine::{MAG_CLASSES, MAX_MAGAZINE_CAPACITY};
+use hoard_mem::SizeClassTable;
+use hoard_trace::{ClassTotals, EventKind, MetricsSnapshot};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Virtual units between controller ticks. Long enough that a tick's
+/// `Cost::TuneTick` (150 units) is noise, short enough that a policy
+/// converges within the first few percent of a benchmark run.
+pub(crate) const TUNE_INTERVAL: u64 = 50_000;
+
+/// Smallest capacity the controller will seed or shrink to. Below this
+/// the refill batch (`cap/2`) stops amortising the lock acquisition.
+const MIN_ADAPTIVE_CAPACITY: usize = 8;
+
+/// Most the controller may raise `K` above the configured slack.
+const MAX_SLACK_BOOST: u64 = 4;
+
+/// The tuned empty fraction is kept at `base denominator × 4`
+/// resolution so `f` can move in quarter-of-`f₀` steps (with the
+/// paper-default `f = 1/2`, base resolution allows no step at all).
+const F_SCALE: u64 = 4;
+
+/// Per-tick per-class op count below which the controller considers
+/// the class idle and leaves it alone (too little signal to act on).
+const MIN_OPS_PER_TICK: u64 = 64;
+
+/// Grow a class's magazine when its lock-bypass rate sits below this.
+const GROW_BELOW_BYPASS_PCT: u64 = 97;
+
+/// A class whose remote frees reach this share of its allocations is a
+/// foreign-free stream: the frees arrive on other threads, so local
+/// magazine depth cannot absorb them. The threshold sits above storm's
+/// ~50 % ring-bleed (where depth still pays) and below prod-cons's
+/// ~100 %. Remote-heaviness alone is not enough, though: a *pure
+/// producer* (refills with no flush traffic) still wants depth — each
+/// refill amortises a heap-lock acquisition — so only remote-heavy
+/// classes whose magazines also churn flushes count as streaming.
+/// Streaming classes never grow and actively shrink.
+const STREAMING_REMOTE_PCT: u64 = 75;
+
+/// Shrink-eligible when bypass is at/above this *and* the class sees
+/// almost no refill/flush traffic (capacity is pure overhang).
+const SHRINK_ABOVE_BYPASS_PCT: u64 = 99;
+
+/// Consecutive shrink-eligible ticks before a shrink is applied —
+/// hysteresis so one quiet interval cannot discard a warmed-up policy.
+const SHRINK_PATIENCE: u8 = 3;
+
+/// Superblock transfers per tick that count as a ping-pong storm and
+/// trigger the threshold actuator (`K` up, `f` up).
+const STORM_TRANSFERS_PER_TICK: u64 = 24;
+
+/// Consecutive quiet ticks before a raised threshold decays one step
+/// back toward the configured baseline.
+const QUIET_PATIENCE: u8 = 4;
+
+/// Cold-start state shared by the accounting below.
+const ZERO_TOTALS: ClassTotals = ClassTotals {
+    allocs: 0,
+    frees: 0,
+    remote_frees: 0,
+    magazine_ops: 0,
+    refills: 0,
+    flushes: 0,
+};
+
+/// The controller's shared state, embedded in the allocator (one per
+/// allocator, `const`-constructible for `#[global_allocator]` use).
+///
+/// Actuator fields are plain relaxed atomics: the hot paths read them
+/// without synchronisation, and any torn ordering across classes is
+/// harmless because every stored value is independently valid (clamped
+/// capacity, batch ≤ capacity).
+pub(crate) struct TuneState {
+    enabled: bool,
+    /// Per-class magazine capacity (blocks). With tuning off this is
+    /// `magazine_capacity` for every class, and never changes.
+    caps: [AtomicU32; MAG_CLASSES],
+    /// Per-class refill/flush batch size, kept in `1..=cap`.
+    batches: [AtomicU32; MAG_CLASSES],
+    /// Tuned slack `K` (superblocks).
+    slack_k: AtomicU64,
+    /// Tuned empty-fraction numerator at denominator
+    /// `empty_fraction_den × F_SCALE` (see [`TuneState::policy`]).
+    f_num: AtomicU64,
+    /// Virtual timestamp of the last claimed tick (CAS-claimed).
+    last_tick: AtomicU64,
+    inner: Mutex<ControllerInner>,
+}
+
+/// Tick-to-tick memory, only touched by the thread that claimed the
+/// tick (the mutex is uncontended by construction; `lock` rather than
+/// `try_lock` keeps the tick sequence deterministic regardless).
+struct ControllerInner {
+    /// Cumulative per-class totals at the previous tick.
+    prev: [ClassTotals; MAG_CLASSES],
+    /// Cumulative transfer count at the previous tick.
+    prev_transfers: u64,
+    /// Consecutive shrink-eligible ticks per class (hysteresis).
+    shrink_streak: [u8; MAG_CLASSES],
+    /// Consecutive storm-free ticks (threshold decay hysteresis).
+    quiet_ticks: u8,
+}
+
+/// One actuator change, returned to the caller for event emission
+/// (the controller itself stays free of tracer plumbing).
+pub(crate) enum TuneAction {
+    /// `class` now runs capacity `cap`, batch `batch`.
+    Capacity { class: u32, cap: u32, batch: u32 },
+    /// The invariant now runs with slack `k` and empty-fraction
+    /// numerator `f_num` (at the ×[`F_SCALE`] denominator).
+    Threshold { k: u64, f_num: u64 },
+}
+
+impl TuneAction {
+    /// The action as a trace event (kind, arg0, arg1) per the
+    /// [`EventKind::TuneCapacity`]/[`EventKind::TuneThreshold`] schema.
+    pub(crate) fn as_event(&self) -> (EventKind, u32, u64) {
+        match *self {
+            TuneAction::Capacity { class, cap, batch } => (
+                EventKind::TuneCapacity,
+                class,
+                ((cap as u64) << 32) | batch as u64,
+            ),
+            TuneAction::Threshold { k, f_num } => (EventKind::TuneThreshold, k as u32, f_num),
+        }
+    }
+}
+
+const fn clamp_cap(c: usize) -> usize {
+    if c < MIN_ADAPTIVE_CAPACITY {
+        MIN_ADAPTIVE_CAPACITY
+    } else if c > MAX_MAGAZINE_CAPACITY {
+        MAX_MAGAZINE_CAPACITY
+    } else {
+        c
+    }
+}
+
+/// Seed clamp: capacities start no deeper than the static default.
+/// Deep magazines are a liability on foreign-free streams (the shrink
+/// path must claw them back tick by tick), so the seed stays
+/// conservative and only *measured* low bypass earns the extra depth
+/// up to [`MAX_MAGAZINE_CAPACITY`].
+const fn seed_cap(c: usize) -> usize {
+    let c = clamp_cap(c);
+    if c > crate::magazine::DEFAULT_MAGAZINE_CAPACITY {
+        crate::magazine::DEFAULT_MAGAZINE_CAPACITY
+    } else {
+        c
+    }
+}
+
+const fn batch_for(cap: usize) -> u32 {
+    let b = cap / 2;
+    (if b == 0 { 1 } else { b }) as u32
+}
+
+impl TuneState {
+    /// Build the controller for `config`. With tuning off, every
+    /// actuator holds the static configuration's value (and
+    /// [`maybe_tick`](Self::maybe_tick) never fires), so the compiled-in
+    /// controller is behaviourally invisible. With tuning on, per-class
+    /// capacities are seeded proportional to blocks-per-superblock:
+    /// `clamp(S / block_size, 8..=32)` — small classes start at the
+    /// static default (their superblocks hold hundreds of blocks),
+    /// ~512 B classes near 16 — and only *measured* low bypass grows a
+    /// class toward [`MAX_MAGAZINE_CAPACITY`].
+    pub(crate) const fn for_config(config: &HoardConfig) -> TuneState {
+        let enabled = config.adaptive_tuning && config.magazine_capacity != 0;
+        let table = SizeClassTable::for_superblock_size(config.superblock_size);
+        let mut caps = [const { AtomicU32::new(0) }; MAG_CLASSES];
+        let mut batches = [const { AtomicU32::new(0) }; MAG_CLASSES];
+        let mut i = 0;
+        while i < MAG_CLASSES {
+            let cap = if !enabled {
+                config.magazine_capacity
+            } else if i < table.len() {
+                seed_cap(config.superblock_size / table.class(i).block_size as usize)
+            } else {
+                seed_cap(config.magazine_capacity)
+            };
+            caps[i] = AtomicU32::new(cap as u32);
+            batches[i] = AtomicU32::new(batch_for(cap));
+            i += 1;
+        }
+        TuneState {
+            enabled,
+            caps,
+            batches,
+            slack_k: AtomicU64::new(config.slack_k as u64),
+            f_num: AtomicU64::new(config.empty_fraction_num as u64 * F_SCALE),
+            last_tick: AtomicU64::new(0),
+            inner: Mutex::new(ControllerInner {
+                prev: [ZERO_TOTALS; MAG_CLASSES],
+                prev_transfers: 0,
+                shrink_streak: [0; MAG_CLASSES],
+                quiet_ticks: 0,
+            }),
+        }
+    }
+
+    /// Whether the feedback loop is live (config said so *and* the
+    /// magazine front-end exists to steer).
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current magazine capacity for `class` (blocks).
+    #[inline]
+    pub(crate) fn capacity(&self, class: usize) -> usize {
+        self.caps[class].load(Relaxed) as usize
+    }
+
+    /// Current refill/flush batch size for `class` (blocks, ≥ 1).
+    #[inline]
+    pub(crate) fn batch(&self, class: usize) -> usize {
+        self.batches[class].load(Relaxed) as usize
+    }
+
+    /// The *effective* configuration: `base` with the tuned emptiness
+    /// thresholds substituted. With tuning off this is `base`,
+    /// verbatim. The tuned empty fraction is expressed at denominator
+    /// `base_den × F_SCALE`, which leaves `invariant_violated` /
+    /// `f_empty_blocks` arithmetic exactly equivalent while the
+    /// controller is at its seed point (`num·4 / den·4`).
+    #[inline]
+    pub(crate) fn policy(&self, base: &HoardConfig) -> HoardConfig {
+        if !self.enabled {
+            return *base;
+        }
+        let mut c = *base;
+        c.slack_k = self.slack_k.load(Relaxed) as usize;
+        c.empty_fraction_num = self.f_num.load(Relaxed) as usize;
+        c.empty_fraction_den = base.empty_fraction_den * F_SCALE as usize;
+        c
+    }
+
+    /// Try to claim a controller tick at virtual time `now`. Returns
+    /// `false` when tuning is off, the interval has not elapsed, or
+    /// another thread claimed this interval first. The caller that gets
+    /// `true` charges `Cost::TuneTick` and calls [`tick`](Self::tick).
+    #[inline]
+    pub(crate) fn maybe_tick(&self, now: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let last = self.last_tick.load(Relaxed);
+        if now.wrapping_sub(last) < TUNE_INTERVAL {
+            return false;
+        }
+        self.last_tick
+            .compare_exchange(last, now, Relaxed, Relaxed)
+            .is_ok()
+    }
+
+    /// Run one control step against a fresh metrics snapshot, updating
+    /// the actuators. Fills `out` with the applied changes (for event
+    /// emission) and returns how many were applied. `out` is a fixed
+    /// buffer so the controller allocates nothing — it may run inside
+    /// a `#[global_allocator]`'s own call stack.
+    pub(crate) fn tick(
+        &self,
+        base: &HoardConfig,
+        snap: &MetricsSnapshot,
+        out: &mut [Option<TuneAction>],
+    ) -> usize {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let inner = &mut *inner;
+        let mut applied = 0;
+        let mut push = |a: TuneAction, applied: &mut usize| {
+            if *applied < out.len() {
+                out[*applied] = Some(a);
+                *applied += 1;
+            }
+        };
+
+        // Per-class capacity/batch control.
+        for class in 0..MAG_CLASSES {
+            let cur = snap.class_totals(class);
+            let prev = inner.prev[class];
+            inner.prev[class] = cur;
+            let d = ClassTotals {
+                allocs: cur.allocs - prev.allocs,
+                frees: cur.frees - prev.frees,
+                remote_frees: cur.remote_frees - prev.remote_frees,
+                magazine_ops: cur.magazine_ops - prev.magazine_ops,
+                refills: cur.refills - prev.refills,
+                flushes: cur.flushes - prev.flushes,
+            };
+            if d.ops() < MIN_OPS_PER_TICK {
+                // Idle class: no signal, no change, no streak growth.
+                continue;
+            }
+            let cap = self.caps[class].load(Relaxed) as usize;
+            let bypass = d.bypass_pct();
+            let churn = d.refills + d.flushes;
+            let streaming = d.remote_frees > 0
+                && d.remote_frees * 100 >= d.allocs * STREAMING_REMOTE_PCT
+                && d.flushes * 2 >= d.refills;
+            let mut new_cap = cap;
+            if bypass < GROW_BELOW_BYPASS_PCT
+                && churn > 0
+                && !streaming
+                && cap < MAX_MAGAZINE_CAPACITY
+            {
+                // Lock traffic the magazine should be absorbing: grow
+                // aggressively (×4 reaches the clamp from any seed in
+                // ≤ 2 ticks — growth is cheap to undo, and the shrink
+                // hysteresis catches overshoot).
+                new_cap = clamp_cap(cap * 4);
+                inner.shrink_streak[class] = 0;
+            } else if (streaming || (bypass >= SHRINK_ABOVE_BYPASS_PCT && churn <= 1))
+                && cap > MIN_ADAPTIVE_CAPACITY
+            {
+                // Either the magazine never turns over (near-perfect
+                // bypass, no refill/flush churn) or the class streams
+                // its frees to other threads — both mean the capacity
+                // is not absorbing lock traffic: give it back, but
+                // only after SHRINK_PATIENCE consecutive such ticks
+                // (hysteresis — growth is cheap to redo, but a shrink
+                // flushes warm blocks).
+                inner.shrink_streak[class] += 1;
+                if inner.shrink_streak[class] >= SHRINK_PATIENCE {
+                    new_cap = clamp_cap(cap / 2);
+                    inner.shrink_streak[class] = 0;
+                }
+            } else {
+                inner.shrink_streak[class] = 0;
+            }
+            // Batch control: refill-heavy classes (alloc bursts) pull
+            // deeper batches per lock acquisition; symmetric or
+            // flush-heavy traffic keeps the half-capacity default.
+            let mut new_batch = (new_cap / 2).max(1);
+            if d.refills > 2 * d.flushes.max(1) {
+                new_batch = (3 * new_cap / 4).clamp(1, new_cap);
+            }
+            if new_cap != cap || new_batch != self.batches[class].load(Relaxed) as usize {
+                self.caps[class].store(new_cap as u32, Relaxed);
+                self.batches[class].store(new_batch as u32, Relaxed);
+                push(
+                    TuneAction::Capacity {
+                        class: class as u32,
+                        cap: new_cap as u32,
+                        batch: new_batch as u32,
+                    },
+                    &mut applied,
+                );
+            }
+        }
+
+        // Threshold control: superblock ping-pong storms raise K and f
+        // (both make migration rarer), clamped so the blowup bound
+        // keeps a constant factor; quiet intervals decay one step back
+        // toward the configured baseline.
+        let transfers = snap.total_transfers();
+        let d_transfers = transfers - inner.prev_transfers;
+        inner.prev_transfers = transfers;
+        let base_k = base.slack_k as u64;
+        let base_f = base.empty_fraction_num as u64 * F_SCALE;
+        let max_f = 3 * (base.empty_fraction_den as u64 * F_SCALE) / 4;
+        let k = self.slack_k.load(Relaxed);
+        let f = self.f_num.load(Relaxed);
+        let (new_k, new_f) = if d_transfers >= STORM_TRANSFERS_PER_TICK {
+            inner.quiet_ticks = 0;
+            ((k + 1).min(base_k + MAX_SLACK_BOOST), (f + 1).min(max_f))
+        } else if k > base_k || f > base_f {
+            inner.quiet_ticks += 1;
+            if inner.quiet_ticks >= QUIET_PATIENCE {
+                inner.quiet_ticks = 0;
+                (k.saturating_sub(1).max(base_k), f.saturating_sub(1).max(base_f))
+            } else {
+                (k, f)
+            }
+        } else {
+            (k, f)
+        };
+        if new_k != k || new_f != f {
+            self.slack_k.store(new_k, Relaxed);
+            self.f_num.store(new_f, Relaxed);
+            push(
+                TuneAction::Threshold {
+                    k: new_k,
+                    f_num: new_f,
+                },
+                &mut applied,
+            );
+        }
+        applied
+    }
+}
+
+/// Upper bound on actions one tick can apply: one per magazine class
+/// plus one threshold change — the caller's event buffer size.
+pub(crate) const MAX_TUNE_ACTIONS: usize = MAG_CLASSES + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(classes: &[(usize, ClassTotals)]) -> MetricsSnapshot {
+        // Drive a real registry rather than hand-building a snapshot:
+        // keeps this test honest about the sensor path.
+        let r = hoard_trace::MetricsRegistry::new(2, MAG_CLASSES);
+        for &(class, t) in classes {
+            // `t.allocs` is the *total*; magazine hits count in both.
+            for _ in 0..t.allocs - t.magazine_ops {
+                r.on_alloc(1, class, false);
+            }
+            for _ in 0..t.magazine_ops {
+                r.on_alloc(1, class, true);
+            }
+            for _ in 0..t.remote_frees {
+                r.on_remote_free(1, class);
+            }
+            for _ in 0..t.refills {
+                r.on_magazine_refill(1, class);
+            }
+            for _ in 0..t.flushes {
+                r.on_magazine_flush(1, class);
+            }
+        }
+        r.snapshot()
+    }
+
+    fn totals(allocs: u64, magazine_ops: u64, refills: u64, flushes: u64) -> ClassTotals {
+        ClassTotals {
+            allocs,
+            frees: 0,
+            remote_frees: 0,
+            magazine_ops,
+            refills,
+            flushes,
+        }
+    }
+
+    #[test]
+    fn disabled_controller_mirrors_the_static_config() {
+        let cfg = HoardConfig::with_default_magazines();
+        let t = TuneState::for_config(&cfg);
+        assert!(!t.enabled());
+        for class in 0..MAG_CLASSES {
+            assert_eq!(t.capacity(class), cfg.magazine_capacity);
+            assert_eq!(t.batch(class), (cfg.magazine_capacity / 2).max(1));
+        }
+        assert_eq!(t.policy(&cfg), cfg, "policy passes the config through");
+        assert!(!t.maybe_tick(u64::MAX), "no ticks while disabled");
+    }
+
+    #[test]
+    fn seed_capacities_are_proportional_to_blocks_per_superblock() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        assert!(t.enabled());
+        // 8-byte blocks: S/8 = 1024, seed-clamped to the static default
+        // (growth beyond it must be earned from measured bypass).
+        assert_eq!(t.capacity(0), crate::magazine::DEFAULT_MAGAZINE_CAPACITY);
+        // 128-byte blocks (class 15): 8192/128 = 64, same clamp.
+        assert_eq!(t.capacity(15), crate::magazine::DEFAULT_MAGAZINE_CAPACITY);
+        // Largest front-end class (~500 B): a shallow magazine.
+        let table = SizeClassTable::for_superblock_size(cfg.superblock_size);
+        let last = table.class(MAG_CLASSES - 1).block_size as usize;
+        assert_eq!(
+            t.capacity(MAG_CLASSES - 1),
+            (cfg.superblock_size / last).clamp(8, crate::magazine::DEFAULT_MAGAZINE_CAPACITY)
+        );
+        // Batches track capacity at the half-capacity default.
+        for class in 0..MAG_CLASSES {
+            assert_eq!(t.batch(class), t.capacity(class) / 2);
+        }
+    }
+
+    #[test]
+    fn tick_claim_is_exclusive_and_interval_gated() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        assert!(!t.maybe_tick(TUNE_INTERVAL - 1), "interval not elapsed");
+        assert!(t.maybe_tick(TUNE_INTERVAL));
+        assert!(!t.maybe_tick(TUNE_INTERVAL), "same instant: already claimed");
+        assert!(t.maybe_tick(2 * TUNE_INTERVAL));
+    }
+
+    #[test]
+    fn low_bypass_grows_capacity_until_clamped() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        let class = 20; // a geometric class seeded shallow
+        let seed = t.capacity(class);
+        assert!(seed < MAX_MAGAZINE_CAPACITY);
+        let mut out: [Option<TuneAction>; MAX_TUNE_ACTIONS] = [const { None }; MAX_TUNE_ACTIONS];
+        // 1000 ops, 80% bypass, heavy refill churn → grow every tick.
+        let mut cum = totals(0, 0, 0, 0);
+        let mut cap = seed;
+        for _ in 0..4 {
+            cum = totals(
+                cum.allocs + 1000,
+                cum.magazine_ops + 800,
+                cum.refills + 40,
+                cum.flushes + 10,
+            );
+            let n = t.tick(&cfg, &snap_with(&[(class, cum)]), &mut out);
+            if cap < MAX_MAGAZINE_CAPACITY {
+                assert!(n >= 1, "a growth action fires");
+                cap = (cap * 4).min(MAX_MAGAZINE_CAPACITY);
+            }
+            assert_eq!(t.capacity(class), cap);
+            assert!(t.batch(class) >= 1 && t.batch(class) <= cap);
+        }
+        assert_eq!(t.capacity(class), MAX_MAGAZINE_CAPACITY);
+        // Refill-heavy traffic selected the deep 3/4 batch.
+        assert_eq!(t.batch(class), 3 * MAX_MAGAZINE_CAPACITY / 4);
+    }
+
+    #[test]
+    fn shrink_requires_patience() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        let class = 0;
+        let seed = t.capacity(class);
+        let mut out: [Option<TuneAction>; MAX_TUNE_ACTIONS] = [const { None }; MAX_TUNE_ACTIONS];
+        let mut cum = totals(0, 0, 0, 0);
+        for round in 1..=SHRINK_PATIENCE {
+            // Perfect bypass, zero churn: shrink-eligible.
+            cum = totals(cum.allocs + 1000, cum.magazine_ops + 1000, 0, 0);
+            t.tick(&cfg, &snap_with(&[(class, cum)]), &mut out);
+            if round < SHRINK_PATIENCE {
+                assert_eq!(t.capacity(class), seed, "hysteresis holds at round {round}");
+            }
+        }
+        assert_eq!(t.capacity(class), seed / 2, "shrink lands after patience");
+    }
+
+    #[test]
+    fn foreign_free_streams_shrink_instead_of_growing() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        let class = 3; // 32-B blocks: seeded at the default clamp
+        let seed = t.capacity(class);
+        assert_eq!(seed, crate::magazine::DEFAULT_MAGAZINE_CAPACITY);
+        let mut out: [Option<TuneAction>; MAX_TUNE_ACTIONS] = [const { None }; MAX_TUNE_ACTIONS];
+        // Foreign-free stream: low bypass with churn (the grow
+        // signature) but nearly every free arrives remotely and the
+        // magazine is flush-churning — the streaming override must
+        // shrink, not grow.
+        let mut cum = totals(0, 0, 0, 0);
+        for round in 1..=SHRINK_PATIENCE {
+            cum.allocs += 1000;
+            cum.magazine_ops += 400;
+            cum.refills += 40;
+            cum.flushes += 35;
+            cum.remote_frees += 950;
+            t.tick(&cfg, &snap_with(&[(class, cum)]), &mut out);
+            if round < SHRINK_PATIENCE {
+                assert_eq!(t.capacity(class), seed, "hysteresis holds at round {round}");
+            }
+        }
+        assert_eq!(t.capacity(class), seed / 2, "streaming class gives capacity back");
+    }
+
+    #[test]
+    fn pure_producers_still_grow_for_refill_amortisation() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        let class = 3;
+        let seed = t.capacity(class);
+        let mut out: [Option<TuneAction>; MAX_TUNE_ACTIONS] = [const { None }; MAX_TUNE_ACTIONS];
+        // Producer side of prod-cons: every free is remote but the
+        // magazine never flushes (blocks leave through allocation) —
+        // depth still amortises refill lock traffic, so this is a grow.
+        let cum = ClassTotals {
+            allocs: 1000,
+            frees: 0,
+            remote_frees: 1000,
+            magazine_ops: 450,
+            refills: 60,
+            flushes: 0,
+        };
+        t.tick(&cfg, &snap_with(&[(class, cum)]), &mut out);
+        assert!(t.capacity(class) > seed, "refill-dominated stream grows");
+    }
+
+    #[test]
+    fn idle_classes_are_left_alone() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        let before: Vec<usize> = (0..MAG_CLASSES).map(|c| t.capacity(c)).collect();
+        let mut out: [Option<TuneAction>; MAX_TUNE_ACTIONS] = [const { None }; MAX_TUNE_ACTIONS];
+        let n = t.tick(&cfg, &snap_with(&[]), &mut out);
+        assert_eq!(n, 0, "no signal, no actions");
+        for (c, &cap) in before.iter().enumerate() {
+            assert_eq!(t.capacity(c), cap);
+        }
+    }
+
+    #[test]
+    fn transfer_storms_raise_thresholds_and_quiet_decays_them() {
+        let cfg = HoardConfig::with_adaptive();
+        let t = TuneState::for_config(&cfg);
+        let base_f = cfg.empty_fraction_num as u64 * F_SCALE;
+        let max_f = 3 * (cfg.empty_fraction_den as u64 * F_SCALE) / 4;
+        let mut out: [Option<TuneAction>; MAX_TUNE_ACTIONS] = [const { None }; MAX_TUNE_ACTIONS];
+        let r = hoard_trace::MetricsRegistry::new(2, MAG_CLASSES);
+        // Storm ticks: K and f ratchet up to their clamps.
+        for _ in 0..10 {
+            for _ in 0..STORM_TRANSFERS_PER_TICK {
+                r.on_transfer_to_global(1, 50);
+            }
+            t.tick(&cfg, &r.snapshot(), &mut out);
+        }
+        let p = t.policy(&cfg);
+        assert_eq!(p.slack_k as u64, cfg.slack_k as u64 + MAX_SLACK_BOOST);
+        assert_eq!(p.empty_fraction_num as u64, max_f, "f clamped at 3/4");
+        assert_eq!(
+            p.empty_fraction_den,
+            cfg.empty_fraction_den * F_SCALE as usize
+        );
+        assert!(p.validate().is_ok(), "tuned policy is always a valid config");
+        // Quiet ticks: decay one step per QUIET_PATIENCE window, all the
+        // way back to the baseline.
+        let mut steps = 0;
+        while t.policy(&cfg).slack_k != cfg.slack_k
+            || t.policy(&cfg).empty_fraction_num as u64 != base_f
+        {
+            t.tick(&cfg, &r.snapshot(), &mut out);
+            steps += 1;
+            assert!(steps < 200, "decay must terminate");
+        }
+        // At the seed point the scaled fraction is arithmetically
+        // identical to the configured one.
+        let p = t.policy(&cfg);
+        assert!(!p.invariant_violated(8192, 2 * 8192));
+        assert_eq!(
+            p.invariant_violated(0, 3 * 8192),
+            cfg.invariant_violated(0, 3 * 8192)
+        );
+    }
+
+    #[test]
+    fn capacity_event_packs_cap_and_batch() {
+        let a = TuneAction::Capacity {
+            class: 7,
+            cap: 64,
+            batch: 48,
+        };
+        let (kind, a0, a1) = a.as_event();
+        assert_eq!(kind, EventKind::TuneCapacity);
+        assert_eq!(a0, 7);
+        assert_eq!(a1 >> 32, 64);
+        assert_eq!(a1 & 0xffff_ffff, 48);
+    }
+}

@@ -11,15 +11,25 @@
 //! hoardscope trc replay FILE.trc [--lockfree] [--twice]
 //! hoardscope trc gen OUT.trc [--sessions N] [--workers N] [--seed S]
 //! hoardscope trc report FILE.trc [--lockfree] [--json OUT]
+//!
+//! hoardscope tune --ab [--quick] [--gate TOLERANCE_PCT]
 //! ```
 //!
 //! `--demo` runs traced larson and prints the full report; `--lockfree`
 //! switches the allocator to the lock-free back-end.
 //!
 //! `--gate` is the CI contention gate: it runs larson on both back-ends,
-//! prints each lock ranking, and exits nonzero if the lock-free run's
-//! heap-lock acquisitions exceed `BUDGET` (the checked-in budget lives
-//! in `ci/contention_budget.txt`).
+//! prints each lock ranking and the superblock-registry gauges, and
+//! exits nonzero if the lock-free run's heap-lock acquisitions exceed
+//! `BUDGET` (the checked-in budget lives in `ci/contention_budget.txt`)
+//! or either run's superblock registry latched degraded mode.
+//!
+//! `tune --ab` runs the adaptive-tuning A/B sweep: the feedback
+//! controller vs a grid of static magazine capacities across the
+//! workload suite at P ∈ {8, 14}. With `--gate TOLERANCE_PCT` it exits
+//! nonzero unless the adaptive aggregate stays within that percentage
+//! of the best static point (the CI budget lives in
+//! `ci/tuning_budget.txt`); without it, the sweep must win outright.
 //!
 //! The `trc` subcommands drive the binary `.trc` allocation-trace
 //! pipeline: `record` captures a named workload (threadtest|larson)
@@ -36,8 +46,8 @@
 
 use hoard_core::{chrome_trace_json, HoardConfig, TraceLog, TrcTrace};
 use hoard_harness::{
-    heap_lock_acquisitions, lock_table, record_workload, replay_trc, report_for, scope_report,
-    traced_larson_with,
+    heap_lock_acquisitions, lock_table, record_workload, replay_trc, report_for, run_tune_ab,
+    scope_report, traced_larson_with,
 };
 use hoard_workloads::server_traffic;
 
@@ -47,6 +57,7 @@ fn main() {
         args.remove(0);
     }
     match args.first().map(String::as_str) {
+        Some("tune") => tune(&args[1..]),
         Some("record") => trc_record(&args[1..]),
         Some("replay") => trc_replay(&args[1..]),
         Some("gen") => trc_gen(&args[1..]),
@@ -63,7 +74,8 @@ fn main() {
                  hoardscope [trc] record WORKLOAD OUT.trc [--threads N] [--quick] [--lockfree]\n       \
                  hoardscope [trc] replay FILE.trc [--lockfree] [--twice]\n       \
                  hoardscope [trc] gen OUT.trc [--sessions N] [--workers N] [--seed S]\n       \
-                 hoardscope [trc] report FILE.trc [--lockfree] [--json OUT]"
+                 hoardscope [trc] report FILE.trc [--lockfree] [--json OUT]\n       \
+                 hoardscope tune --ab [--quick] [--gate TOLERANCE_PCT]"
             );
             std::process::exit(2);
         }
@@ -281,6 +293,28 @@ fn gate(args: &[String]) {
          budget={budget} makespans: locked={} lockfree={}",
         locked.makespan, lockfree.makespan
     );
+    // The superblock registry must stay healthy: a latched overflow
+    // silently downgrades the masked-metadata checks to header walks,
+    // so a degraded run fails the gate even under its lock budget.
+    let mut degraded = false;
+    for (label, run) in [("locked", &locked), ("lockfree", &lockfree)] {
+        let reg = &run.metrics.registry;
+        println!(
+            "sb registry ({label}): occupancy {}/{} ({:.1}%), degraded: {}",
+            reg.occupancy,
+            reg.capacity,
+            100.0 * reg.occupancy_ratio(),
+            if reg.overflowed { "YES" } else { "no" }
+        );
+        degraded |= reg.overflowed;
+    }
+    if degraded {
+        eprintln!(
+            "contention gate FAILED: superblock registry latched degraded mode \
+             (mask checks falling back to header walks)"
+        );
+        std::process::exit(1);
+    }
     if lockfree_acqs > budget {
         eprintln!(
             "contention gate FAILED: lock-free back-end took {lockfree_acqs} \
@@ -289,6 +323,35 @@ fn gate(args: &[String]) {
         std::process::exit(1);
     }
     eprintln!("contention gate passed: {lockfree_acqs} <= {budget}");
+}
+
+fn tune(args: &[String]) {
+    if !args.iter().any(|a| a == "--ab") {
+        eprintln!("usage: hoardscope tune --ab [--quick] [--gate TOLERANCE_PCT]");
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = run_tune_ab(quick);
+    println!("{}", report.render());
+    match flag_value(args, "--gate") {
+        Some(tol) => {
+            let tol: f64 = tol.parse().expect("--gate takes a tolerance in percent");
+            if !report.adaptive_within(tol) {
+                eprintln!(
+                    "tuning gate FAILED: adaptive aggregate exceeds best static + {tol}%"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("tuning gate passed: adaptive within {tol}% of best static");
+        }
+        None => {
+            if !report.adaptive_beats_all() {
+                eprintln!("adaptive does NOT beat every static point");
+                std::process::exit(1);
+            }
+            eprintln!("adaptive beats every static point at P=8 and P=14");
+        }
+    }
 }
 
 fn from_file(path: &str) {

@@ -1,0 +1,394 @@
+//! `hoardscope tune --ab` — adaptive tuning vs the static grid.
+//!
+//! The feedback controller's claim (DESIGN.md §13) is that no single
+//! static `magazine_capacity` serves every size class, so the adaptive
+//! policy should beat *every* static point on aggregate virtual
+//! makespan once enough processors contend. This module runs the grid:
+//! static capacities {8, 16, 32, 64} plus the adaptive controller,
+//! across the workload suite (threadtest, larson, prod-cons, storm,
+//! server-traffic replay, batch-skew) at P ∈ {8, 14}, every run with a
+//! metrics registry attached — the controller is blind without its
+//! sensors. Multi-threaded virtual makespans are bimodal (host
+//! scheduling decides lock handoff order), so each cell is the best of
+//! several runs — the cell's intrinsic cost.
+//!
+//! The same report doubles as the CI smoke gate: `adaptive_within(tol)`
+//! checks the adaptive aggregate against the best static point per
+//! thread count with a tolerance in percent (`ci/tuning_budget.txt`).
+
+use crate::Table;
+use hoard_core::{HoardAllocator, HoardConfig};
+use hoard_mem::{MtAllocator, SizeClassTable};
+use hoard_workloads::trace::{replay, Trace};
+use hoard_workloads::{batch_skew, larson, prod_cons, server_traffic, storm, threadtest};
+use std::sync::Arc;
+
+/// Static capacities of the A/B grid. The adaptive point rides along
+/// under the name `adaptive`.
+pub const STATIC_GRID: [usize; 4] = [8, 16, 32, 64];
+
+/// Thread counts the acceptance criteria name.
+pub const THREAD_POINTS: [usize; 2] = [8, 14];
+
+/// One configuration's aggregate makespan at one thread count.
+#[derive(Debug, Clone)]
+pub struct AbAggregate {
+    /// Configuration name (`static-N` or `adaptive`).
+    pub name: String,
+    /// Virtual processors.
+    pub threads: usize,
+    /// Sum of per-workload best-of-N makespans.
+    pub total: u64,
+}
+
+/// Everything one A/B sweep produces.
+pub struct TuneAbReport {
+    /// Per-cell makespans (workload × config × P).
+    pub cells: Table,
+    /// Aggregate makespan per config per P.
+    pub aggregates: Vec<AbAggregate>,
+    /// 512-B-class heap-lock bypass (percent) per config, measured on
+    /// the magbench batch-churn pattern.
+    pub bypass_512: Vec<(String, u64)>,
+}
+
+impl TuneAbReport {
+    /// The best (lowest) static aggregate at `threads`.
+    pub fn best_static(&self, threads: usize) -> Option<&AbAggregate> {
+        self.aggregates
+            .iter()
+            .filter(|a| a.threads == threads && a.name != "adaptive")
+            .min_by_key(|a| a.total)
+    }
+
+    /// The adaptive aggregate at `threads`.
+    pub fn adaptive(&self, threads: usize) -> Option<&AbAggregate> {
+        self.aggregates
+            .iter()
+            .find(|a| a.threads == threads && a.name == "adaptive")
+    }
+
+    /// Whether the adaptive aggregate beats every static point outright
+    /// at every measured thread count (the full acceptance criterion).
+    pub fn adaptive_beats_all(&self) -> bool {
+        self.adaptive_within(0.0)
+    }
+
+    /// Whether the adaptive aggregate stays within `tolerance_pct`
+    /// percent of the best static point at every measured thread count
+    /// (the CI smoke criterion; 0.0 = must win outright).
+    pub fn adaptive_within(&self, tolerance_pct: f64) -> bool {
+        THREAD_POINTS.iter().all(|&p| {
+            match (self.adaptive(p), self.best_static(p)) {
+                (Some(a), Some(s)) => {
+                    a.total as f64 <= s.total as f64 * (1.0 + tolerance_pct / 100.0)
+                }
+                _ => false,
+            }
+        })
+    }
+
+    /// Aggregate table (one row per config × P, ratio vs best static).
+    pub fn aggregate_table(&self) -> Table {
+        let mut t = Table::new(
+            "tune-ab",
+            "TUNE A/B: aggregate virtual makespan, adaptive vs static grid",
+            vec![
+                "P".into(),
+                "config".into(),
+                "aggregate".into(),
+                "vs best static".into(),
+            ],
+        );
+        for &p in &THREAD_POINTS {
+            let best = self.best_static(p).map_or(1, |a| a.total).max(1);
+            for a in self.aggregates.iter().filter(|a| a.threads == p) {
+                t.push_row(vec![
+                    p.to_string(),
+                    a.name.clone(),
+                    a.total.to_string(),
+                    format!("{:+.2}%", 100.0 * (a.total as f64 - best as f64) / best as f64),
+                ]);
+            }
+        }
+        t.push_note("aggregate = sum of per-workload best-of-N makespans (lower is better)");
+        t.push_note("acceptance: adaptive <= every static point at P=8 and P=14");
+        t
+    }
+
+    /// Bypass table for the ROADMAP-documented 512-B gap.
+    pub fn bypass_table(&self) -> Table {
+        let mut t = Table::new(
+            "tune-bypass",
+            "TUNE A/B: 512-B class heap-lock bypass on magbench batch churn",
+            vec!["config".into(), "bypass %".into()],
+        );
+        for (name, pct) in &self.bypass_512 {
+            t.push_row(vec![name.clone(), pct.to_string()]);
+        }
+        t.push_note("acceptance: adaptive >= 94% (static-32 sits near 90%)");
+        t
+    }
+
+    /// The full rendered report.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}\n{}",
+            self.cells.render(),
+            self.aggregate_table().render(),
+            self.bypass_table().render()
+        )
+    }
+}
+
+/// The grid: `(name, config)` for each static point plus adaptive.
+pub fn ab_grid() -> Vec<(String, HoardConfig)> {
+    let mut grid: Vec<(String, HoardConfig)> = STATIC_GRID
+        .iter()
+        .map(|&c| {
+            (
+                format!("static-{c}"),
+                HoardConfig::with_default_magazines().with_magazine_capacity(c),
+            )
+        })
+        .collect();
+    grid.push(("adaptive".into(), HoardConfig::with_adaptive()));
+    grid
+}
+
+/// Build an allocator with its metrics registry attached — the
+/// controller's sensors. Every A/B cell goes through this; an adaptive
+/// allocator without a registry never ticks and would silently measure
+/// the seed capacities only.
+fn instrumented(config: HoardConfig) -> HoardAllocator {
+    let h = HoardAllocator::with_config(config).expect("valid config");
+    let registry = Arc::new(h.new_metrics_registry());
+    h.attach_metrics(registry);
+    h
+}
+
+/// Best (minimum) of `reps` runs. Multi-threaded virtual makespans are
+/// bimodal — host scheduling decides lock-handoff order, and a cell
+/// can land in a slow mode on any single run — so the median of a few
+/// runs still flips between modes. The minimum converges on the cell's
+/// intrinsic cost and makes config-to-config comparison stable enough
+/// to gate on.
+fn best_of(reps: usize, mut f: impl FnMut() -> u64) -> u64 {
+    (0..reps).map(|_| f()).min().expect("reps > 0")
+}
+
+/// Run the full A/B sweep. `quick` reduces scale and repetitions for
+/// the CI smoke gate.
+pub fn run_tune_ab(quick: bool) -> TuneAbReport {
+    let reps = if quick { 8 } else { 12 };
+
+    let tt = threadtest::Params {
+        total_objects: if quick { 6_000 } else { 40_000 },
+        ..Default::default()
+    };
+    let la = larson::Params {
+        slots_per_thread: if quick { 200 } else { 1_000 },
+        rounds: 2,
+        ops_per_round: if quick { 1_000 } else { 2_000 },
+        ..Default::default()
+    };
+    let pc = prod_cons::Params {
+        total_objects: if quick { 6_000 } else { 40_000 },
+        ..Default::default()
+    };
+    let st = storm::Params {
+        rounds: if quick { 4 } else { 20 },
+        ..Default::default()
+    };
+    let bs = batch_skew::Params {
+        rounds: if quick { 6 } else { 40 },
+        ..Default::default()
+    };
+
+    // Per-workload rep multiplier: prod-cons is the most deeply bimodal
+    // cell (its fast mode depends on the producers winning the initial
+    // lock handoffs), so its minimum needs more samples to converge.
+    type Cell = Box<dyn Fn(&HoardAllocator, usize) -> u64>;
+    let workloads: Vec<(&'static str, usize, Cell)> = vec![
+        (
+            "threadtest",
+            1,
+            Box::new(move |h, p| threadtest::run(h, p, &tt).makespan),
+        ),
+        (
+            "larson",
+            1,
+            Box::new(move |h, p| larson::run(h, p, &la).makespan),
+        ),
+        (
+            "prod-cons",
+            3,
+            Box::new(move |h, p| prod_cons::run(h, p, &pc).makespan),
+        ),
+        (
+            "storm",
+            1,
+            Box::new(move |h, p| storm::run(h, p, &st).makespan),
+        ),
+        (
+            "batch-skew",
+            1,
+            Box::new(move |h, p| batch_skew::run(h, p, &bs).makespan),
+        ),
+    ];
+
+    let mut cells = Table::new(
+        "tune-cells",
+        "TUNE A/B: per-workload best-of-N makespans",
+        vec![
+            "workload".into(),
+            "P".into(),
+            "config".into(),
+            "makespan".into(),
+        ],
+    );
+    let grid = ab_grid();
+    let mut aggregates: Vec<AbAggregate> = grid
+        .iter()
+        .flat_map(|(name, _)| {
+            THREAD_POINTS.iter().map(|&p| AbAggregate {
+                name: name.clone(),
+                threads: p,
+                total: 0,
+            })
+        })
+        .collect();
+    let mut add = |name: &str, p: usize, mk: u64| {
+        let a = aggregates
+            .iter_mut()
+            .find(|a| a.name == name && a.threads == p)
+            .expect("grid aggregate");
+        a.total += mk;
+    };
+
+    for (wl_name, rep_mul, run_cell) in &workloads {
+        for &p in &THREAD_POINTS {
+            for (name, config) in &grid {
+                let mk = best_of(reps * rep_mul, || run_cell(&instrumented(*config), p));
+                cells.push_row(vec![
+                    (*wl_name).into(),
+                    p.to_string(),
+                    name.clone(),
+                    mk.to_string(),
+                ]);
+                add(name, p, mk);
+            }
+        }
+    }
+
+    // Server-traffic rides the `.trc` replay path: one generated trace
+    // per thread count, replayed on every grid point.
+    for &p in &THREAD_POINTS {
+        let (trc, _) = server_traffic::generate(&server_traffic::Params {
+            workers: p,
+            sessions: if quick { 600 } else { 2_000 },
+            ..Default::default()
+        });
+        let trace = Trace::from_trc(&trc).expect("generated traces convert");
+        for (name, config) in &grid {
+            let mk = best_of(reps, || replay(&instrumented(*config), &trace).makespan);
+            cells.push_row(vec![
+                "server-traffic".into(),
+                p.to_string(),
+                name.clone(),
+                mk.to_string(),
+            ]);
+            add(name, p, mk);
+        }
+    }
+    cells.push_note(format!(
+        "best of {reps} runs (multi-threaded makespans are bimodal under host \
+         scheduling; the minimum is each cell's intrinsic cost); metrics \
+         registry attached to every cell"
+    ));
+
+    let scale = if quick { 8_000 } else { 40_000 };
+    let bypass_512 = grid
+        .iter()
+        .map(|(name, config)| (name.clone(), bypass_512(*config, scale)))
+        .collect();
+
+    TuneAbReport {
+        cells,
+        aggregates,
+        bypass_512,
+    }
+}
+
+/// 512-B-class heap-lock bypass (percent) on the magbench batch-churn
+/// pattern: allocate 100, free 100, `scale` allocations total, single
+/// thread, metrics attached. This is the exact shape
+/// `results/magazine_frontend.txt` documents at ~90 % for static-32.
+pub fn bypass_512(config: HoardConfig, scale: u64) -> u64 {
+    const BATCH: usize = 100;
+    const SIZE: usize = 512;
+    let h = instrumented(config);
+    let mut ptrs = Vec::with_capacity(BATCH);
+    for _ in 0..scale / BATCH as u64 {
+        for _ in 0..BATCH {
+            ptrs.push(unsafe { h.allocate(SIZE) }.expect("oom"));
+        }
+        for p in ptrs.drain(..) {
+            unsafe { h.deallocate(p) };
+        }
+    }
+    h.flush_frontend();
+    let snap = h.metrics_snapshot().expect("registry attached");
+    let table = SizeClassTable::for_superblock_size(config.superblock_size);
+    let class = table.index_for(SIZE).expect("512 B is a small class");
+    snap.class_totals(class).bypass_pct()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_four_statics_and_adaptive() {
+        let grid = ab_grid();
+        assert_eq!(grid.len(), STATIC_GRID.len() + 1);
+        assert!(grid.iter().any(|(n, c)| n == "adaptive" && c.adaptive_tuning));
+        for (n, c) in &grid {
+            if n != "adaptive" {
+                assert!(!c.adaptive_tuning);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_lifts_the_512b_class_over_static_32() {
+        let adaptive = bypass_512(HoardConfig::with_adaptive(), 8_000);
+        let static32 = bypass_512(HoardConfig::with_default_magazines(), 8_000);
+        assert!(
+            adaptive > static32,
+            "adaptive {adaptive}% should beat static-32 {static32}%"
+        );
+        // The ISSUE's regression floor: the adaptive controller must
+        // hold the 512-B class at >= 94 % bypass on the batch pattern.
+        assert!(adaptive >= 94, "adaptive bypass {adaptive}% below the 94% floor");
+    }
+
+    #[test]
+    fn report_math_finds_best_static_and_applies_tolerance() {
+        let report = TuneAbReport {
+            cells: Table::new("t", "t", vec!["x".into()]),
+            aggregates: vec![
+                AbAggregate { name: "static-8".into(), threads: 8, total: 100 },
+                AbAggregate { name: "static-64".into(), threads: 8, total: 90 },
+                AbAggregate { name: "adaptive".into(), threads: 8, total: 91 },
+                AbAggregate { name: "static-8".into(), threads: 14, total: 100 },
+                AbAggregate { name: "static-64".into(), threads: 14, total: 95 },
+                AbAggregate { name: "adaptive".into(), threads: 14, total: 94 },
+            ],
+            bypass_512: vec![],
+        };
+        assert_eq!(report.best_static(8).unwrap().total, 90);
+        assert!(!report.adaptive_beats_all(), "91 > 90 at P=8");
+        assert!(report.adaptive_within(2.0), "91 <= 90 * 1.02");
+    }
+}

@@ -99,12 +99,13 @@ impl SizeClassTable {
         self.max_size
     }
 
-    /// The class at `index`.
+    /// The class at `index`. `const`, so per-class derived tables (the
+    /// feedback controller's seed capacities) can live in statics.
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
-    pub fn class(&self, index: usize) -> SizeClass {
+    pub const fn class(&self, index: usize) -> SizeClass {
         assert!(index < self.count, "size class index out of range");
         self.classes[index]
     }

@@ -72,9 +72,16 @@ pub enum Cost {
     /// (one AND plus a validation probe on warm metadata) — the
     /// lock-free back-end's replacement for the header-chase lookup.
     MaskLookup,
+    /// One tick of the online feedback controller: snapshotting the
+    /// metrics registry, diffing it against the previous tick, and
+    /// writing back new per-class capacities/thresholds. Charged to the
+    /// thread that claims the tick, so adaptive tuning perturbs virtual
+    /// time honestly — and deterministically, since ticks are claimed on
+    /// the virtual clock.
+    TuneTick,
 }
 
-const N_COSTS: usize = 17;
+const N_COSTS: usize = 18;
 
 fn index(cost: Cost) -> usize {
     match cost {
@@ -95,6 +102,7 @@ fn index(cost: Cost) -> usize {
         Cost::TraceEvent => 14,
         Cost::AtomicRmw => 15,
         Cost::MaskLookup => 16,
+        Cost::TuneTick => 17,
     }
 }
 
@@ -123,6 +131,8 @@ pub struct CostModel {
     pub atomic_rmw: u64,
     #[serde(default)]
     pub mask_lookup: u64,
+    #[serde(default)]
+    pub tune_tick: u64,
 }
 
 impl Default for CostModel {
@@ -163,6 +173,11 @@ impl Default for CostModel {
             // cache hit, and strictly cheaper than chasing the per-block
             // header line it replaces.
             mask_lookup: 2,
+            // A controller tick walks the metrics registry (a few
+            // hundred counter loads) and stores a handful of knobs:
+            // roughly a lock handoff's worth of work, paid once per
+            // tuning interval rather than per operation.
+            tune_tick: 150,
         }
     }
 }
@@ -208,6 +223,7 @@ impl CostModel {
             trace_event: unit,
             atomic_rmw: unit,
             mask_lookup: unit,
+            tune_tick: unit,
         }
     }
 
@@ -231,6 +247,7 @@ impl CostModel {
             Cost::TraceEvent => self.trace_event,
             Cost::AtomicRmw => self.atomic_rmw,
             Cost::MaskLookup => self.mask_lookup,
+            Cost::TuneTick => self.tune_tick,
         }
     }
 
@@ -265,6 +282,7 @@ impl CostModel {
             trace_event: get(Cost::TraceEvent),
             atomic_rmw: get(Cost::AtomicRmw),
             mask_lookup: get(Cost::MaskLookup),
+            tune_tick: get(Cost::TuneTick),
         }
     }
 }
@@ -287,6 +305,7 @@ const ALL: [Cost; N_COSTS] = [
     Cost::TraceEvent,
     Cost::AtomicRmw,
     Cost::MaskLookup,
+    Cost::TuneTick,
 ];
 
 static GLOBAL: [AtomicU64; N_COSTS] = {
@@ -308,6 +327,7 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         trace_event: 1,
         atomic_rmw: 40,
         mask_lookup: 2,
+        tune_tick: 150,
     };
     [
         AtomicU64::new(D.malloc_fast),
@@ -327,6 +347,7 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         AtomicU64::new(D.trace_event),
         AtomicU64::new(D.atomic_rmw),
         AtomicU64::new(D.mask_lookup),
+        AtomicU64::new(D.tune_tick),
     ]
 };
 

@@ -34,8 +34,8 @@ pub use chrome::{chrome_trace_json, CHROME_PID};
 pub use event::{Event, EventKind};
 pub use log::{TraceLog, TrackLog};
 pub use metrics::{
-    ClassMetrics, HardeningMetrics, HeapMetrics, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, RegistryMetrics, HISTOGRAM_BUCKETS,
+    ClassMetrics, ClassTotals, HardeningMetrics, HeapMetrics, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, RegistryMetrics, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{RecorderStats, TrcRecorder};
 pub use sink::{TraceConfig, TraceSink};

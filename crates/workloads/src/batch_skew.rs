@@ -1,0 +1,152 @@
+//! `batch-skew` — batch sizes skewed against the static magazine depth.
+//!
+//! The motivating gap from `results/magazine_frontend.txt`: 512-byte
+//! objects allocated in batches of 100 cycle a 32-deep magazine three
+//! times per batch, capping that class's heap-lock bypass near 90 %
+//! while the 8/64-byte classes sit at ~95 %. This workload pins that
+//! shape: each thread drives several size classes *with different batch
+//! sizes* — a mid-size class in batches much deeper than the default
+//! magazine, a small class in shallow batches, and a sparse large
+//! class. No single static `magazine_capacity` serves all three; the
+//! per-class adaptive controller should find each class's depth.
+
+use crate::{LiveMeter, Obj, WorkloadResult};
+use hoard_mem::MtAllocator;
+use hoard_sim::{work, Machine};
+
+/// One (size, batch) lane of the skewed mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Object size in bytes.
+    pub size: usize,
+    /// Objects per allocate-then-free batch.
+    pub batch: usize,
+    /// Batches of this lane per round.
+    pub batches_per_round: usize,
+}
+
+/// Parameters for [`run`]. The default lanes reproduce the 512-B gap:
+/// deep batches of 512-B objects dominate, flanked by shallow 16-B
+/// churn and occasional 2-KiB allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Rounds per thread; each round runs every lane.
+    pub rounds: usize,
+    /// The skewed (size, batch) mix.
+    pub lanes: [Lane; 3],
+    /// Local compute units per object.
+    pub work_per_object: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            rounds: 40,
+            lanes: [
+                // The documented gap: 100-deep batches vs a 32-deep
+                // static magazine.
+                Lane {
+                    size: 512,
+                    batch: 100,
+                    batches_per_round: 4,
+                },
+                // Shallow small-object churn a modest magazine serves.
+                Lane {
+                    size: 16,
+                    batch: 24,
+                    batches_per_round: 4,
+                },
+                // Sparse large objects: an oversized magazine here only
+                // strands memory.
+                Lane {
+                    size: 2048,
+                    batch: 4,
+                    batches_per_round: 1,
+                },
+            ],
+            work_per_object: 10,
+        }
+    }
+}
+
+impl Params {
+    /// Allocations per thread for one full run.
+    pub fn allocs_per_thread(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| (l.batch * l.batches_per_round) as u64)
+            .sum::<u64>()
+            * self.rounds as u64
+    }
+}
+
+/// Run the skewed-batch churn on `threads` virtual processors.
+pub fn run(alloc: &dyn MtAllocator, threads: usize, params: &Params) -> WorkloadResult {
+    hoard_sim::reset_cache();
+    let meter = LiveMeter::new();
+
+    let report = Machine::new(threads).run(|_proc| {
+        let meter = &meter;
+        move || {
+            let deepest = params.lanes.iter().map(|l| l.batch).max().unwrap_or(0);
+            let mut batch: Vec<Obj> = Vec::with_capacity(deepest);
+            for _ in 0..params.rounds {
+                for lane in &params.lanes {
+                    for _ in 0..lane.batches_per_round {
+                        for _ in 0..lane.batch {
+                            if let Some(obj) = Obj::try_alloc(alloc, meter, lane.size) {
+                                work(params.work_per_object);
+                                batch.push(obj);
+                            }
+                        }
+                        for obj in batch.drain(..) {
+                            obj.write();
+                            obj.free(alloc, meter);
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let ops = params.allocs_per_thread() * 2 * threads as u64;
+    WorkloadResult {
+        makespan: report.makespan(),
+        ops,
+        max_live_requested: meter.peak(),
+        snapshot: alloc.stats(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoard_core::{HoardAllocator, HoardConfig};
+
+    fn small() -> Params {
+        Params {
+            rounds: 6,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn completes_and_returns_everything() {
+        let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+        let r = run(&h, 4, &small());
+        assert_eq!(r.snapshot.live_current, 0, "all objects freed");
+        assert!(r.makespan > 0);
+        assert_eq!(r.ops, small().allocs_per_thread() * 2 * 4);
+    }
+
+    #[test]
+    fn deep_batches_overflow_a_static_magazine() {
+        let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+        let r = run(&h, 2, &small());
+        assert!(
+            r.snapshot.magazines.refills > 0 && r.snapshot.magazines.flushes > 0,
+            "100-deep 512-B batches must spill a 32-deep magazine"
+        );
+    }
+}
