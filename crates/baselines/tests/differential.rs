@@ -1,3 +1,7 @@
+// The stub ProptestConfig used offline has only the fields we set, which
+// makes `..default()` a needless_update under clippy; keep it for real proptest.
+#![allow(clippy::needless_update)]
+
 //! Property-based differential testing of the baseline allocators: a
 //! shared model (a map of live blocks) checks every allocator against
 //! the same randomly generated traces, verifying non-overlap, content

@@ -40,8 +40,11 @@ use hoard_mem::{
     large, read_header, try_read_header, write_header, AllocSnapshot, AllocStats, ChunkSource,
     HeaderWord, MtAllocator, SizeClassTable, SystemSource, Tag,
 };
-use hoard_sim::{charge_cost, current_proc, now, Cost, VLockGuard};
-use hoard_trace::{EventKind, MetricsRegistry, MetricsSnapshot, TraceSink, TrcRecorder};
+use hoard_sim::{charge_cost, current_alloc_site, current_proc, now, Cost, VLockGuard};
+use hoard_trace::{
+    EventKind, HeapMap, HeapMapClass, HeapMapHeap, HeapProfiler, MetricsRegistry, MetricsSnapshot,
+    TraceSink, TrcRecorder,
+};
 use std::alloc::Layout;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::Acquire, Ordering::Release};
@@ -191,6 +194,12 @@ pub struct HoardAllocator<Src: ChunkSource = SystemSource> {
     /// stream — sizes, pointer tokens, per-proc program order — that
     /// `hoardscope record` writes to disk.
     recorder: AtomicPtr<TrcRecorder>,
+    /// Attachable live-heap profiler (null = profiling off); same
+    /// lifecycle and gating contract as `tracer`. When attached, every
+    /// successful `allocate`/`deallocate` feeds the site books (charged
+    /// [`Cost::ProfileSample`]), and CAS-claimed virtual-clock ticks
+    /// append `A`/`U` fragmentation-timeline points (DESIGN.md §14).
+    profiler: AtomicPtr<HeapProfiler>,
     /// Online feedback controller (DESIGN.md §13): per-class magazine
     /// capacities/batches and tuned emptiness thresholds, stepped on
     /// the virtual clock from metrics deltas when
@@ -241,6 +250,7 @@ impl HoardAllocator<SystemSource> {
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
             recorder: AtomicPtr::new(std::ptr::null_mut()),
+            profiler: AtomicPtr::new(std::ptr::null_mut()),
             tuning: TuneState::for_config(&config),
         }
     }
@@ -270,6 +280,7 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
             tracer: AtomicPtr::new(std::ptr::null_mut()),
             metrics: AtomicPtr::new(std::ptr::null_mut()),
             recorder: AtomicPtr::new(std::ptr::null_mut()),
+            profiler: AtomicPtr::new(std::ptr::null_mut()),
             tuning: TuneState::for_config(&config),
         })
     }
@@ -366,6 +377,21 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         }
     }
 
+    /// Install a live-heap profiler; every subsequent successful
+    /// `allocate` and `deallocate` feeds its site/live books (each
+    /// charged [`Cost::ProfileSample`]), and whichever thread claims a
+    /// timeline tick appends an `A`/`U` fragmentation sample. Same
+    /// lifecycle contract as [`attach_tracer`] — attach and detach only
+    /// at quiescent points.
+    ///
+    /// [`attach_tracer`]: HoardAllocator::attach_tracer
+    pub fn attach_profiler(&self, prof: Arc<HeapProfiler>) {
+        let old = self.profiler.swap(Arc::into_raw(prof).cast_mut(), Release);
+        if !old.is_null() {
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+    }
+
     /// Snapshot the attached metrics registry, first refreshing its
     /// hardening gauges from the corruption log and OOM-recovery
     /// counters. `None` when no registry is attached.
@@ -419,6 +445,75 @@ impl<Src: ChunkSource> HoardAllocator<Src> {
         } else {
             Some(unsafe { &*p })
         }
+    }
+
+    #[inline]
+    fn profiler_ref(&self) -> Option<&HeapProfiler> {
+        let p = self.profiler.load(Acquire);
+        // Safety: as for `tracer_ref`.
+        if p.is_null() {
+            None
+        } else {
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Claim and record a fragmentation-timeline sample when one is
+    /// due. The CAS in `maybe_tick` lets exactly one thread win each
+    /// interval, so a sequential replay claims ticks at the same
+    /// virtual instants every run.
+    #[inline]
+    fn profile_tick(&self, prof: &HeapProfiler) {
+        if prof.maybe_tick(now()) {
+            charge_cost(Cost::ProfileSample);
+            prof.record_sample(now(), self.source.stats().held_current, self.stats.live_now());
+        }
+    }
+
+    /// A structural photograph of every heap: per-class superblock
+    /// occupancy histograms plus the `u`/`a` gauges, stamped with the
+    /// current virtual time. Walks each heap's superblock lists under
+    /// that heap's lock, so call at a quiescent point (or accept the
+    /// lock traffic); superblocks parked on the empty list are counted
+    /// under the class they last served.
+    pub fn heap_map_snapshot(&self) -> HeapMap {
+        let mut heaps = Vec::with_capacity(self.config.heap_count + 1);
+        for hi in 0..=self.config.heap_count {
+            let heap = &self.heaps[hi];
+            let _token = self.lock_heap(heap, hi);
+            let mut classes: Vec<HeapMapClass> = Vec::new();
+            // Safety: heap lock held; the closure only reads.
+            unsafe {
+                heap.for_each_superblock(|sb| {
+                    let class = (*sb).class;
+                    let row = match classes.iter_mut().find(|c| c.class == class) {
+                        Some(row) => row,
+                        None => {
+                            classes.push(HeapMapClass {
+                                class,
+                                block_size: (*sb).block_size,
+                                ..HeapMapClass::default()
+                            });
+                            classes.last_mut().unwrap()
+                        }
+                    };
+                    row.superblocks += 1;
+                    row.blocks_in_use += (*sb).in_use as u64;
+                    row.capacity += (*sb).capacity as u64;
+                    row.occupancy
+                        [HeapMapClass::bucket((*sb).in_use as u64, (*sb).capacity as u64)] += 1;
+                });
+            }
+            classes.sort_by_key(|c| c.class);
+            heaps.push(HeapMapHeap {
+                index: hi,
+                live_bytes: heap.u.load(Relaxed),
+                held_bytes: heap.a.load(Relaxed),
+                empty_superblocks: heap.empty_count.load(Relaxed),
+                classes,
+            });
+        }
+        HeapMap { ts: now(), heaps }
     }
 
     /// Record one trace event when a tracer is attached; a single
@@ -2256,25 +2351,49 @@ unsafe impl<Src: ChunkSource> MtAllocator for HoardAllocator<Src> {
     }
 
     unsafe fn allocate(&self, size: usize) -> Option<NonNull<u8>> {
+        let recorder = self.recorder_ref();
+        let profiler = self.profiler_ref();
+        // Only stamped when a device is attached: `now()` is free of
+        // virtual time but the off-path must stay branch-minimal.
+        let start = if recorder.is_some() { now() } else { 0 };
         let p = self.allocate_impl(size);
-        // Recorded after the allocation so the token maps a pointer no
-        // other thread can race on (the caller owns it exclusively).
         if let Some(p) = p {
-            if let Some(r) = self.recorder_ref() {
-                r.record_alloc(p.as_ptr() as usize, size);
+            let addr = p.as_ptr() as usize;
+            // Recorded after the allocation so the token maps a pointer
+            // no other thread can race on (the caller owns it
+            // exclusively).
+            if let Some(r) = recorder {
+                r.record_alloc(addr, size, current_alloc_site(), start);
+            }
+            if let Some(prof) = profiler {
+                charge_cost(Cost::ProfileSample);
+                prof.record_alloc(addr, size as u32, current_alloc_site(), now());
+                self.profile_tick(prof);
             }
         }
         p
     }
 
     unsafe fn deallocate(&self, ptr: NonNull<u8>) {
+        let recorder = self.recorder_ref();
         // Recorded before the free: once the block is back on a free
         // list another proc may re-allocate the same address, and the
-        // token map must retire this token first.
-        if let Some(r) = self.recorder_ref() {
-            r.record_free(ptr.as_ptr() as usize);
+        // token map must retire this token first (likewise the
+        // profiler's live-block map).
+        if let Some(r) = recorder {
+            r.record_free(ptr.as_ptr() as usize, now());
+        }
+        if let Some(prof) = self.profiler_ref() {
+            charge_cost(Cost::ProfileSample);
+            prof.record_free(ptr.as_ptr() as usize);
+            self.profile_tick(prof);
         }
         self.deallocate_impl(ptr);
+        if let Some(r) = recorder {
+            // Extend the span over the free's own cost so replay gaps
+            // only cover genuine think time.
+            r.finish_op(now());
+        }
     }
 
     fn stats(&self) -> AllocSnapshot {
@@ -2411,6 +2530,10 @@ impl<Src: ChunkSource> Drop for HoardAllocator<Src> {
         let r = self.recorder.swap(std::ptr::null_mut(), Relaxed);
         if !r.is_null() {
             unsafe { drop(Arc::from_raw(r)) };
+        }
+        let p = self.profiler.swap(std::ptr::null_mut(), Relaxed);
+        if !p.is_null() {
+            unsafe { drop(Arc::from_raw(p)) };
         }
         for heap in self.heaps.iter() {
             unsafe {

@@ -60,9 +60,11 @@ pub use hoard_mem::{SizeClass, SizeClassTable, MAX_CLASSES};
 // The observability layer (see DESIGN.md §10): re-exported so harness
 // and tests attach tracers/registries without naming hoard-trace.
 pub use hoard_trace::{
-    chrome_trace_json, jsonio, ClassTotals, Event, EventKind, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, RecorderStats, RegistryMetrics, TraceConfig, TraceLog, TraceSink, TrackLog,
-    TrcError, TrcOp, TrcReader, TrcRecord, TrcRecorder, TrcTrace, TrcWriter, CHROME_PID,
+    chrome_trace_json, jsonio, ClassTotals, Event, EventKind, HeapMap, HeapMapClass, HeapMapHeap,
+    HeapProfiler, HistogramSnapshot, LeakRecord, MetricsRegistry, MetricsSnapshot, ProfileConfig,
+    ProfileSnapshot, RecorderStats, RegistryMetrics, SiteStats, TimelinePoint, TraceConfig,
+    TraceLog, TraceSink, TrackLog, TrcError, TrcOp, TrcReader, TrcRecord, TrcRecorder, TrcTrace,
+    TrcWriter, CHROME_PID, HEAP_PROFILE_SCHEMA, OCCUPANCY_BUCKETS,
 };
 
 /// Maximum number of per-processor heaps supported (compile-time bound

@@ -1,3 +1,7 @@
+// The stub ProptestConfig used offline has only the fields we set, which
+// makes `..default()` a needless_update under clippy; keep it for real proptest.
+#![allow(clippy::needless_update)]
+
 //! Property-based verification of the paper's formal claims.
 //!
 //! * **Emptiness invariant postcondition** — after every `free`, each

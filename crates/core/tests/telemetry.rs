@@ -9,10 +9,16 @@
 //! * **golden traces**: a fixed-seed single-processor workload yields a
 //!   byte-identical trace JSON on every run;
 //! * the metrics registry agrees with `AllocStats` at quiescence and
-//!   surfaces corruption/OOM-recovery gauges.
+//!   surfaces corruption/OOM-recovery gauges;
+//! * the live-heap profiler follows the same off-free/on-honest
+//!   contract: unattached it perturbs nothing, attached it charges
+//!   exactly one `Cost::ProfileSample` per profiled operation and per
+//!   timeline tick, and its books cross-check `AllocStats` and the
+//!   heap-map snapshot.
 
 use hoard_core::{
-    HardeningLevel, HoardAllocator, HoardConfig, MetricsRegistry, TraceConfig, TraceLog, TraceSink,
+    HardeningLevel, HeapProfiler, HoardAllocator, HoardConfig, MetricsRegistry, TraceConfig,
+    TraceLog, TraceSink,
 };
 use hoard_mem::MtAllocator;
 use hoard_workloads::threadtest;
@@ -154,6 +160,122 @@ fn golden_trace_is_byte_identical_across_runs() {
             "timestamps monotone per track"
         );
     }
+}
+
+#[test]
+fn profiler_off_is_bit_identical_and_on_charges_exactly_profile_samples() {
+    // Unprofiled baseline.
+    let plain = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let t0 = hoard_sim::now();
+    let plain_addrs = churn(&plain);
+    let plain_dt = hoard_sim::now() - t0;
+
+    // Profiled run: identical layout and lock traffic; the virtual
+    // clock moves by exactly one ProfileSample per alloc, per free,
+    // and per claimed timeline tick — nothing else.
+    let profiled = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let prof = Arc::new(HeapProfiler::new());
+    profiled.attach_profiler(Arc::clone(&prof));
+    let t1 = hoard_sim::now();
+    let profiled_addrs = churn(&profiled);
+    let profiled_dt = hoard_sim::now() - t1;
+
+    assert_eq!(
+        normalize(&plain_addrs),
+        normalize(&profiled_addrs),
+        "profiling must never change layout decisions"
+    );
+    assert_eq!(
+        plain.heap_lock_stats(),
+        profiled.heap_lock_stats(),
+        "profiling must never change lock traffic"
+    );
+    let snap = prof.snapshot(hoard_sim::now());
+    assert_eq!(snap.total_allocs, profiled.stats().allocs);
+    let per = hoard_sim::CostModel::current().profile_sample;
+    let charged = snap.total_allocs + snap.total_frees + snap.timeline.len() as u64;
+    assert_eq!(
+        profiled_dt,
+        plain_dt + charged * per,
+        "profiling-on overhead is exactly #ops+#ticks × Cost::ProfileSample"
+    );
+}
+
+#[test]
+fn profiler_books_cross_check_alloc_stats_and_heap_map() {
+    let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let prof = Arc::new(HeapProfiler::new());
+    h.attach_profiler(Arc::clone(&prof));
+
+    // Mixed-size churn with sites, leaving a live set behind; the test
+    // keeps its own requested-bytes ledger to check the profiler's.
+    let mut live: Vec<(NonNull<u8>, usize)> = Vec::new();
+    let mut expected_live = 0u64;
+    for i in 0..2_000usize {
+        let size = 8 + (i * 37) % 500;
+        let prev = hoard_sim::set_alloc_site(1 + (i % 7) as u32);
+        let p = unsafe { h.allocate(size) }.unwrap();
+        hoard_sim::set_alloc_site(prev);
+        live.push((p, size));
+        expected_live += size as u64;
+        if i % 3 == 0 {
+            let (victim, vsize) = live.swap_remove((i * 31) % live.len());
+            expected_live -= vsize as u64;
+            unsafe { h.deallocate(victim) };
+        }
+    }
+
+    // Mid-run: the profiler's live books equal the requested-bytes
+    // ledger, per-site totals partition it, and the allocator's own
+    // block-byte gauges bound it from above (`AllocStats.live_current`
+    // counts size-class block bytes, so rounding makes it larger).
+    let stats = h.stats();
+    stats.check_consistency().expect("stats consistent");
+    assert!(expected_live > 0, "live set survives");
+    assert_eq!(prof.live_bytes(), expected_live);
+    let snap = prof.snapshot(hoard_sim::now());
+    assert_eq!(snap.live_bytes, expected_live);
+    assert_eq!(
+        snap.sites.iter().map(|s| s.live_bytes).sum::<u64>(),
+        expected_live,
+        "site attribution partitions live bytes"
+    );
+    assert!(
+        stats.live_current >= expected_live,
+        "block bytes ({}) cover requested bytes ({expected_live})",
+        stats.live_current
+    );
+    assert_eq!(snap.sites.len(), 7, "all seven sites attributed");
+    assert!(
+        snap.sites.iter().all(|s| s.site != 0),
+        "every allocation was tagged"
+    );
+    // Live blocks show up in the leak report until they are freed.
+    assert_eq!(snap.leaked_bytes(), expected_live);
+
+    let map = h.heap_map_snapshot();
+    assert!(
+        map.live_bytes() >= expected_live,
+        "block bytes in use ({}) cover requested live bytes ({expected_live})",
+        map.live_bytes(),
+    );
+    assert!(
+        map.held_bytes() >= map.live_bytes(),
+        "held covers in-use: A={} U={}",
+        map.held_bytes(),
+        map.live_bytes()
+    );
+
+    // Drain: books return to zero and the leak report empties.
+    for (p, _) in live {
+        unsafe { h.deallocate(p) };
+    }
+    h.flush_frontend();
+    assert_eq!(prof.live_bytes(), 0);
+    let end = prof.snapshot(hoard_sim::now());
+    assert_eq!(end.leaked_bytes(), 0);
+    assert_eq!(end.total_frees, end.total_allocs);
+    assert_eq!(h.heap_map_snapshot().live_bytes(), 0);
 }
 
 #[test]

@@ -12,6 +12,11 @@
 //! hoardscope trc gen OUT.trc [--sessions N] [--workers N] [--seed S]
 //! hoardscope trc report FILE.trc [--lockfree] [--json OUT]
 //!
+//! hoardscope profile [TARGET] [--top K] [--timeline] [--gate]
+//!            [--budget FILE] [--inject-leak] [--overhead]
+//!            [--threads N] [--quick] [--lockfree]
+//!            [--json OUT] [--collapsed OUT]
+//!
 //! hoardscope tune --ab [--quick] [--gate TOLERANCE_PCT]
 //! ```
 //!
@@ -37,17 +42,35 @@
 //! a capture against a fresh allocator and prints the determinism
 //! digest (`--twice` replays twice and fails on any divergence), `gen`
 //! synthesizes server-shaped traffic, and `report` scores a replay as
-//! JSON. The `trc` prefix is optional — `hoardscope record …` works
+//! JSON (including a `heap_profile` section from a second, profiled
+//! replay). The `trc` prefix is optional — `hoardscope record …` works
 //! too.
+//!
+//! `profile` is the live-heap profiler front-end. `TARGET` is either a
+//! `.trc` capture (profiled via deterministic replay) or a catalog
+//! workload name (threadtest|prod-cons|server-traffic); with no target
+//! the whole catalog runs. It prints allocation-site Pareto tables and
+//! the leak report, `--timeline` adds the A/U fragmentation timeline,
+//! `--overhead` also runs an unprofiled baseline and reports the
+//! virtual-time overhead, `--json`/`--collapsed` export the full
+//! `hoard-heap-profile-v1` document and collapsed-stack site profile.
+//! `--gate` is the CI memory gate: each run is scored against
+//! `ci/memory_budget.txt` (or `--budget FILE`) and any violation —
+//! leaked bytes, fragmentation ceiling, held-peak ceiling — exits
+//! nonzero. `--inject-leak` deliberately leaks blocks so CI can prove
+//! the gate fails loudly.
 //!
 //! The Chrome export loads in `chrome://tracing` or
 //! <https://ui.perfetto.dev> — one track per virtual processor, lock
 //! holds as duration slices, everything else as instants.
 
-use hoard_core::{chrome_trace_json, HoardConfig, TraceLog, TrcTrace};
+use hoard_core::{
+    chrome_trace_json, jsonio, HoardConfig, ProfileConfig, TraceLog, TrcTrace,
+};
 use hoard_harness::{
-    heap_lock_acquisitions, lock_table, record_workload, replay_trc, report_for, run_tune_ab,
-    scope_report, traced_larson_with,
+    heap_lock_acquisitions, heap_profile_section, lock_table, profile_trc, profile_workload,
+    record_workload, render_profile, replay_trc, report_for, run_tune_ab, scope_report,
+    traced_larson_with, BudgetFile, ProfiledRun, PROFILE_CATALOG,
 };
 use hoard_workloads::server_traffic;
 
@@ -62,6 +85,7 @@ fn main() {
         Some("replay") => trc_replay(&args[1..]),
         Some("gen") => trc_gen(&args[1..]),
         Some("report") => trc_report(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
         _ if args.iter().any(|a| a == "--gate") => gate(&args),
         _ if args.iter().any(|a| a == "--demo") => demo(&args),
         Some(path) if !path.starts_with("--") => from_file(path),
@@ -75,6 +99,8 @@ fn main() {
                  hoardscope [trc] replay FILE.trc [--lockfree] [--twice]\n       \
                  hoardscope [trc] gen OUT.trc [--sessions N] [--workers N] [--seed S]\n       \
                  hoardscope [trc] report FILE.trc [--lockfree] [--json OUT]\n       \
+                 hoardscope profile [TARGET] [--top K] [--timeline] [--gate] [--budget FILE] \
+                 [--inject-leak] [--overhead] [--json OUT] [--collapsed OUT]\n       \
                  hoardscope tune --ab [--quick] [--gate TOLERANCE_PCT]"
             );
             std::process::exit(2);
@@ -90,19 +116,28 @@ fn hoard_config(args: &[String]) -> HoardConfig {
     }
 }
 
+/// Value-taking flags of the `trc` subcommands (under `profile`,
+/// `--gate` is a boolean and `--top`/`--budget`/`--collapsed` take
+/// values — see [`PROFILE_VALUE_FLAGS`]).
+const TRC_VALUE_FLAGS: [&str; 6] = [
+    "--threads", "--seed", "--sessions", "--workers", "--json", "--gate",
+];
+
+/// Value-taking flags of the `profile` subcommand.
+const PROFILE_VALUE_FLAGS: [&str; 5] = [
+    "--threads", "--top", "--budget", "--json", "--collapsed",
+];
+
 /// Positional (non-flag) arguments, skipping the values of value-taking
 /// flags.
-fn positionals(args: &[String]) -> Vec<&String> {
-    const VALUE_FLAGS: [&str; 6] = [
-        "--threads", "--seed", "--sessions", "--workers", "--json", "--gate",
-    ];
+fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
     let mut out = Vec::new();
     let mut skip = false;
     for a in args {
         if skip {
             skip = false;
         } else if a.starts_with("--") {
-            skip = VALUE_FLAGS.contains(&a.as_str());
+            skip = value_flags.contains(&a.as_str());
         } else {
             out.push(a);
         }
@@ -122,7 +157,7 @@ fn load_trc(path: &str) -> TrcTrace {
 }
 
 fn trc_record(args: &[String]) {
-    let pos = positionals(args);
+    let pos = positionals(args, &TRC_VALUE_FLAGS);
     let [workload, out] = pos[..] else {
         eprintln!("usage: hoardscope trc record WORKLOAD OUT.trc (threadtest|larson)");
         std::process::exit(2);
@@ -151,7 +186,7 @@ fn trc_record(args: &[String]) {
 }
 
 fn trc_replay(args: &[String]) {
-    let pos = positionals(args);
+    let pos = positionals(args, &TRC_VALUE_FLAGS);
     let [path] = pos[..] else {
         eprintln!("usage: hoardscope trc replay FILE.trc [--lockfree] [--twice]");
         std::process::exit(2);
@@ -184,7 +219,7 @@ fn trc_replay(args: &[String]) {
 }
 
 fn trc_gen(args: &[String]) {
-    let pos = positionals(args);
+    let pos = positionals(args, &TRC_VALUE_FLAGS);
     let [out] = pos[..] else {
         eprintln!("usage: hoardscope trc gen OUT.trc [--sessions N] [--workers N] [--seed S]");
         std::process::exit(2);
@@ -217,7 +252,7 @@ fn trc_gen(args: &[String]) {
 }
 
 fn trc_report(args: &[String]) {
-    let pos = positionals(args);
+    let pos = positionals(args, &TRC_VALUE_FLAGS);
     let [path] = pos[..] else {
         eprintln!("usage: hoardscope trc report FILE.trc [--lockfree] [--json OUT]");
         std::process::exit(2);
@@ -228,12 +263,120 @@ fn trc_report(args: &[String]) {
         eprintln!("cannot replay {path}: {e}");
         std::process::exit(2);
     });
-    let json = report_for(&trc, &out, &config);
+    // A second, profiled replay supplies the report's heap_profile
+    // section (the plain replay above keeps the determinism digest
+    // untouched by profiling charges).
+    let profiled = profile_trc(&trc, config, ProfileConfig::default(), false, 0)
+        .expect("trace replayed once already");
+    let json = report_for(
+        &trc,
+        &out,
+        &config,
+        Some(heap_profile_section(&profiled, 10)),
+    );
     if let Some(dest) = flag_value(args, "--json") {
         std::fs::write(dest, &json).expect("write report");
         eprintln!("wrote report to {dest}");
     }
     println!("{json}");
+}
+
+fn profile_cmd(args: &[String]) {
+    let pos = positionals(args, &PROFILE_VALUE_FLAGS);
+    let top_k: usize = flag_value(args, "--top")
+        .map(|v| v.parse().expect("--top takes a number"))
+        .unwrap_or(10);
+    let with_timeline = args.iter().any(|a| a == "--timeline");
+    let gate = args.iter().any(|a| a == "--gate");
+    let overhead = args.iter().any(|a| a == "--overhead");
+    // 64 KiB of deliberate leakage: enough to trip any sane budget,
+    // small enough not to distort the run (CI's negative test).
+    let inject = if args.iter().any(|a| a == "--inject-leak") {
+        65_536
+    } else {
+        0
+    };
+    let threads = threads_arg(args, 4);
+    let quick = args.iter().any(|a| a == "--quick");
+    let config = hoard_config(args);
+    let pconfig = ProfileConfig::default();
+
+    let runs: Vec<ProfiledRun> = match pos[..] {
+        [] => PROFILE_CATALOG
+            .iter()
+            .map(|n| profile_workload(n, config, threads, quick, pconfig, overhead, inject))
+            .collect(),
+        [target] if target.ends_with(".trc") => {
+            let trc = load_trc(target);
+            let mut run = profile_trc(&trc, config, pconfig, overhead, inject)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot profile {target}: {e}");
+                    std::process::exit(2);
+                });
+            run.name = target.clone();
+            vec![run]
+        }
+        [target] if PROFILE_CATALOG.contains(&target.as_str()) || target == "larson" => {
+            vec![profile_workload(
+                target, config, threads, quick, pconfig, overhead, inject,
+            )]
+        }
+        _ => {
+            eprintln!(
+                "usage: hoardscope profile [FILE.trc | {}|larson] [--top K] [--timeline] \
+                 [--gate] [--budget FILE] [--inject-leak] [--overhead]",
+                PROFILE_CATALOG.join("|")
+            );
+            std::process::exit(2);
+        }
+    };
+
+    for run in &runs {
+        println!("{}", render_profile(run, top_k, with_timeline));
+    }
+
+    if let Some(dest) = flag_value(args, "--json") {
+        let doc = jsonio::obj(
+            runs.iter()
+                .map(|r| (r.name.as_str(), r.profile.to_json_value()))
+                .collect(),
+        );
+        std::fs::write(dest, doc.to_json()).expect("write profile JSON");
+        eprintln!("wrote heap profile JSON to {dest}");
+    }
+    if let Some(dest) = flag_value(args, "--collapsed") {
+        let text: String = runs.iter().map(|r| r.profile.collapsed_stack(true)).collect();
+        std::fs::write(dest, text).expect("write collapsed stacks");
+        eprintln!("wrote collapsed-stack site profile to {dest}");
+    }
+
+    if gate {
+        let budget_path = flag_value(args, "--budget")
+            .map(String::as_str)
+            .unwrap_or("ci/memory_budget.txt");
+        let text = std::fs::read_to_string(budget_path).unwrap_or_else(|e| {
+            eprintln!("cannot read budget {budget_path}: {e}");
+            std::process::exit(2);
+        });
+        let budgets = BudgetFile::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad budget file {budget_path}: {e}");
+            std::process::exit(2);
+        });
+        let mut failed = false;
+        for run in &runs {
+            for v in budgets.for_workload(&run.name).violations(run) {
+                eprintln!("memory gate FAILED ({}): {v}", run.name);
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "memory gate passed: {} run(s) within {budget_path}",
+            runs.len()
+        );
+    }
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {

@@ -1,0 +1,625 @@
+//! The `hoardscope profile` toolchain: live-heap profiling of workloads
+//! and `.trc` replays, fragmentation timelines, leak reports, and the
+//! CI memory gate.
+//!
+//! A [`HeapProfiler`] is attached to a fresh allocator, the workload
+//! (or a deterministic `.trc` replay) runs, and at quiesce — after
+//! `flush_frontend`, inside a pinned [`sequential_scope`]
+//! (hoard_sim::sequential_scope) — the books are frozen into a
+//! [`ProfileSnapshot`] plus a structural [`HeapMap`]. The gate then
+//! scores the pair against the checked-in budgets
+//! (`ci/memory_budget.txt`): a fragmentation ceiling, a leaked-bytes
+//! ceiling (zero for the stock catalog — every workload frees what it
+//! allocates), and a held-peak ceiling per workload.
+
+use hoard_core::{
+    HeapMap, HeapProfiler, HoardAllocator, HoardConfig, ProfileConfig, ProfileSnapshot, TrcTrace,
+    HEAP_PROFILE_SCHEMA,
+};
+use hoard_mem::MtAllocator;
+use hoard_trace::jsonio::{obj, JsonValue};
+use hoard_workloads::trace::{replay, Trace};
+use hoard_workloads::{larson, prod_cons, server_traffic, threadtest, WorkloadResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Workloads the memory gate runs by default.
+pub const PROFILE_CATALOG: [&str; 3] = ["threadtest", "prod-cons", "server-traffic"];
+
+/// Site id used by [`inject_leak`]: deliberately leaked blocks show up
+/// in the report under this site (named `injected_leak`).
+pub const INJECTED_LEAK_SITE: u32 = 0xDEAD;
+
+/// One profiled run: the workload result, the frozen profile, and the
+/// structural heap map at quiesce.
+pub struct ProfiledRun {
+    /// Workload or catalog entry name (or the `.trc` path).
+    pub name: String,
+    /// The profiled run's result (profiling charges included in the
+    /// makespan).
+    pub result: WorkloadResult,
+    /// Makespan of an identical run without the profiler attached
+    /// (`None` when only the profiled run was performed).
+    pub plain_makespan: Option<u64>,
+    /// The frozen profile: sites, timeline, leaks.
+    pub profile: ProfileSnapshot,
+    /// Per-heap × per-class occupancy at quiesce.
+    pub heap_map: HeapMap,
+}
+
+impl ProfiledRun {
+    /// Profiling overhead as a percentage of the plain makespan
+    /// (`None` without a baseline run).
+    pub fn overhead_pct(&self) -> Option<f64> {
+        let plain = self.plain_makespan?;
+        if plain == 0 {
+            return Some(0.0);
+        }
+        Some(100.0 * (self.result.makespan as f64 - plain as f64) / plain as f64)
+    }
+
+    /// The run's fragmentation `A/U`: held peak over requested live
+    /// peak, as [`WorkloadResult::fragmentation`] defines it.
+    pub fn fragmentation(&self) -> Option<f64> {
+        self.result.fragmentation()
+    }
+}
+
+/// Run one profilable workload with (and optionally without) a
+/// profiler attached. `name` is one of [`PROFILE_CATALOG`] or `larson`
+/// (profilable for overhead studies, not part of the gate catalog);
+/// `threadtest`, `prod-cons`, and `larson` run on the concurrent
+/// machine, `server-traffic` is generated and replayed
+/// deterministically. With `measure_overhead` an identical bare run
+/// provides the `plain_makespan` baseline.
+///
+/// # Panics
+///
+/// Panics on unknown workload names (the CLI validates first).
+pub fn profile_workload(
+    name: &str,
+    config: HoardConfig,
+    threads: usize,
+    quick: bool,
+    pconfig: ProfileConfig,
+    measure_overhead: bool,
+    inject_leak_bytes: u64,
+) -> ProfiledRun {
+    if name == "server-traffic" {
+        let sessions = if quick { 5_000 } else { 50_000 };
+        let (trc, _) = server_traffic::generate(&server_traffic::Params {
+            workers: threads.max(1),
+            sessions,
+            ..Default::default()
+        });
+        let mut run = profile_trc(&trc, config, pconfig, measure_overhead, inject_leak_bytes)
+            .expect("generated traffic replays");
+        run.name = name.to_string();
+        return run;
+    }
+
+    let run_once = |alloc: &HoardAllocator| -> WorkloadResult {
+        match name {
+            "threadtest" => {
+                let mut p = threadtest::Params::default();
+                if quick {
+                    p.total_objects = 20_000;
+                }
+                threadtest::run(alloc, threads, &p)
+            }
+            "prod-cons" => {
+                let mut p = prod_cons::Params::default();
+                if quick {
+                    p.total_objects = 10_000;
+                }
+                prod_cons::run(alloc, threads, &p)
+            }
+            "larson" => {
+                let mut p = larson::Params::default();
+                if quick {
+                    p.slots_per_thread = 200;
+                    p.rounds = 2;
+                    p.ops_per_round = 1_000;
+                }
+                larson::run(alloc, threads, &p)
+            }
+            other => panic!(
+                "profilable workloads are threadtest|prod-cons|server-traffic|larson, got {other:?}"
+            ),
+        }
+    };
+
+    let plain_makespan = measure_overhead.then(|| {
+        let h = HoardAllocator::with_config(config).expect("valid config");
+        run_once(&h).makespan
+    });
+
+    let h = HoardAllocator::with_config(config).expect("valid config");
+    let prof = Arc::new(HeapProfiler::with_config(pconfig));
+    h.attach_profiler(Arc::clone(&prof));
+    let result = run_once(&h);
+    let (profile, heap_map) = quiesce(&h, &prof, result.makespan, inject_leak_bytes);
+
+    ProfiledRun {
+        name: name.to_string(),
+        result,
+        plain_makespan,
+        profile,
+        heap_map,
+    }
+}
+
+/// Profile a deterministic `.trc` replay: replay with a profiler
+/// attached, quiesce, freeze. Replaying the same trace twice with the
+/// same [`ProfileConfig`] yields byte-identical profiles — the
+/// determinism contract `crates/workloads/tests/trc_replay.rs` checks.
+///
+/// # Errors
+///
+/// Propagates [`Trace::from_trc`] conversion failures.
+pub fn profile_trc(
+    trc: &TrcTrace,
+    config: HoardConfig,
+    pconfig: ProfileConfig,
+    measure_overhead: bool,
+    inject_leak_bytes: u64,
+) -> Result<ProfiledRun, String> {
+    let trace = Trace::from_trc(trc)?;
+    let plain_makespan = measure_overhead.then(|| {
+        let h = HoardAllocator::with_config(config).expect("valid config");
+        replay(&h, &trace).makespan
+    });
+
+    let h = HoardAllocator::with_config(config).expect("valid config");
+    let prof = Arc::new(HeapProfiler::with_config(pconfig));
+    h.attach_profiler(Arc::clone(&prof));
+    let result = replay(&h, &trace);
+    let (profile, heap_map) = quiesce(&h, &prof, result.makespan, inject_leak_bytes);
+
+    Ok(ProfiledRun {
+        name: format!("trc seed={} {}", trc.seed, trc.config),
+        result,
+        plain_makespan,
+        profile,
+        heap_map,
+    })
+}
+
+/// Flush the front-end and freeze profile + heap map inside a pinned
+/// deterministic scope (the same idiom as `replay_trc`'s metrics
+/// quiesce): proc 0, t = makespan, so the snapshots are a pure
+/// function of the run. A nonzero `inject_leak_bytes` deliberately
+/// allocates-and-abandons that many bytes first (negative-test hook
+/// for the memory gate).
+fn quiesce(
+    h: &HoardAllocator,
+    prof: &HeapProfiler,
+    makespan: u64,
+    inject_leak_bytes: u64,
+) -> (ProfileSnapshot, HeapMap) {
+    hoard_sim::sequential_scope(1, || {
+        hoard_sim::switch_context(0, makespan);
+        if inject_leak_bytes > 0 {
+            inject_leak(h, prof, inject_leak_bytes);
+        }
+        h.flush_frontend();
+        (prof.snapshot(hoard_sim::now()), h.heap_map_snapshot())
+    })
+}
+
+/// Allocate-and-abandon `bytes` under [`INJECTED_LEAK_SITE`], so the
+/// gate's leak check has something real to fail on.
+fn inject_leak(h: &HoardAllocator, prof: &HeapProfiler, bytes: u64) {
+    prof.name_site(INJECTED_LEAK_SITE, "injected_leak");
+    let prev = hoard_sim::set_alloc_site(INJECTED_LEAK_SITE);
+    let mut remaining = bytes;
+    while remaining > 0 {
+        let size = remaining.min(256) as usize;
+        // Leaked on purpose: never deallocated, so it survives into
+        // the quiesce report.
+        unsafe { h.allocate(size) }.expect("leak injection allocates");
+        remaining -= size as u64;
+    }
+    hoard_sim::set_alloc_site(prev);
+}
+
+/// Memory budgets for one workload. `None` = unchecked.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryBudget {
+    /// Ceiling on fragmentation `A/U` (held peak / requested live peak).
+    pub max_fragmentation: Option<f64>,
+    /// Ceiling on leaked bytes at quiesce (0 for the stock catalog).
+    pub max_leaked_bytes: Option<u64>,
+    /// Ceiling on held-peak bytes `max A`.
+    pub max_held_peak_bytes: Option<u64>,
+}
+
+impl MemoryBudget {
+    fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "max_fragmentation" => {
+                self.max_fragmentation =
+                    Some(value.parse().map_err(|_| format!("bad float {value:?}"))?);
+            }
+            "max_leaked_bytes" => {
+                self.max_leaked_bytes =
+                    Some(value.parse().map_err(|_| format!("bad integer {value:?}"))?);
+            }
+            "max_held_peak_bytes" => {
+                self.max_held_peak_bytes =
+                    Some(value.parse().map_err(|_| format!("bad integer {value:?}"))?);
+            }
+            other => return Err(format!("unknown budget key {other:?}")),
+        }
+        Ok(())
+    }
+
+    /// Budget violations for a profiled run, as human-readable
+    /// messages; empty means the run passes.
+    pub fn violations(&self, run: &ProfiledRun) -> Vec<String> {
+        let mut out = Vec::new();
+        if let (Some(ceiling), Some(frag)) = (self.max_fragmentation, run.fragmentation()) {
+            if frag > ceiling {
+                out.push(format!(
+                    "fragmentation {frag:.3} exceeds budget {ceiling:.3} (held_peak {} / live_peak {})",
+                    run.result.snapshot.held_peak, run.result.max_live_requested
+                ));
+            }
+        }
+        if let Some(ceiling) = self.max_leaked_bytes {
+            let leaked = run.profile.leaked_bytes();
+            if leaked > ceiling {
+                let top = run
+                    .profile
+                    .leaks
+                    .first()
+                    .map(|l| format!("; top site {} ({} B)", l.name, l.bytes))
+                    .unwrap_or_default();
+                out.push(format!("leaked {leaked} B exceeds budget {ceiling} B{top}"));
+            }
+        }
+        if let Some(ceiling) = self.max_held_peak_bytes {
+            let held = run.result.snapshot.held_peak;
+            if held > ceiling {
+                out.push(format!("held peak {held} B exceeds budget {ceiling} B"));
+            }
+        }
+        out
+    }
+}
+
+/// The parsed `ci/memory_budget.txt`: global keys plus per-workload
+/// overrides (`<workload>.<key> <value>` lines).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BudgetFile {
+    global: MemoryBudget,
+    per_workload: BTreeMap<String, MemoryBudget>,
+}
+
+impl BudgetFile {
+    /// Parse the budget format: `key value` per line, `#` comments,
+    /// `workload.key value` for per-workload overrides.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<BudgetFile, String> {
+        let mut file = BudgetFile::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(key), Some(value), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {}: expected `key value`: {line:?}", lineno + 1));
+            };
+            let target = match key.split_once('.') {
+                Some((workload, key)) => (
+                    file.per_workload.entry(workload.to_string()).or_default(),
+                    key,
+                ),
+                None => (&mut file.global, key),
+            };
+            target
+                .0
+                .set(target.1, value)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        Ok(file)
+    }
+
+    /// The effective budget for `workload`: global keys with any
+    /// per-workload overrides applied on top.
+    pub fn for_workload(&self, workload: &str) -> MemoryBudget {
+        let mut b = self.global;
+        if let Some(o) = self.per_workload.get(workload) {
+            b.max_fragmentation = o.max_fragmentation.or(b.max_fragmentation);
+            b.max_leaked_bytes = o.max_leaked_bytes.or(b.max_leaked_bytes);
+            b.max_held_peak_bytes = o.max_held_peak_bytes.or(b.max_held_peak_bytes);
+        }
+        b
+    }
+}
+
+/// The `heap_profile` section embedded in `hoardscope trc report`
+/// documents: timeline summary (`A`/`U` endpoints and peaks), the top
+/// `top_k` sites by live bytes, the leak totals, and the heap map's
+/// aggregate gauges.
+pub fn heap_profile_section(run: &ProfiledRun, top_k: usize) -> JsonValue {
+    let p = &run.profile;
+    let peak_frag = p
+        .timeline
+        .iter()
+        .filter(|pt| pt.live_bytes > 0)
+        .map(|pt| pt.held_bytes as f64 / pt.live_bytes as f64)
+        .fold(f64::NAN, f64::max);
+    let timeline = obj(vec![
+        ("points", JsonValue::Uint(p.timeline.len() as u64)),
+        ("interval", JsonValue::Uint(p.timeline_interval)),
+        ("held_peak_bytes", JsonValue::Uint(p.held_peak_bytes)),
+        ("live_peak_bytes", JsonValue::Uint(p.live_peak_bytes)),
+        (
+            "peak_fragmentation",
+            if peak_frag.is_nan() {
+                JsonValue::Null
+            } else {
+                JsonValue::Float(peak_frag)
+            },
+        ),
+    ]);
+    let top_sites = JsonValue::Arr(
+        p.top_sites(top_k)
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("site", JsonValue::Uint(s.site as u64)),
+                    ("name", JsonValue::Str(s.name.clone())),
+                    ("live_bytes", JsonValue::Uint(s.live_bytes)),
+                    ("total_bytes", JsonValue::Uint(s.total_bytes)),
+                    ("total_allocs", JsonValue::Uint(s.total_allocs)),
+                ])
+            })
+            .collect(),
+    );
+    let leaks = obj(vec![
+        ("bytes", JsonValue::Uint(p.leaked_bytes())),
+        (
+            "objects",
+            JsonValue::Uint(p.leaks.iter().map(|l| l.objects).sum()),
+        ),
+        ("sites", JsonValue::Uint(p.leaks.len() as u64)),
+    ]);
+    let heap_map = obj(vec![
+        ("ts", JsonValue::Uint(run.heap_map.ts)),
+        ("live_bytes", JsonValue::Uint(run.heap_map.live_bytes())),
+        ("held_bytes", JsonValue::Uint(run.heap_map.held_bytes())),
+        (
+            "empty_superblocks",
+            JsonValue::Uint(run.heap_map.empty_superblocks() as u64),
+        ),
+    ]);
+    obj(vec![
+        ("schema", JsonValue::Str(HEAP_PROFILE_SCHEMA.to_string())),
+        ("total_allocs", JsonValue::Uint(p.total_allocs)),
+        ("unmatched_frees", JsonValue::Uint(p.unmatched_frees)),
+        ("timeline", timeline),
+        ("top_sites", top_sites),
+        ("leaks", leaks),
+        ("heap_map", heap_map),
+    ])
+}
+
+/// Render a profiled run as the `hoardscope profile` text report.
+pub fn render_profile(run: &ProfiledRun, top_k: usize, with_timeline: bool) -> String {
+    let p = &run.profile;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {} ==\nmakespan {}{}  allocs {}  frees {}  live@end {} B\n",
+        run.name,
+        run.result.makespan,
+        run.overhead_pct()
+            .map(|o| format!(" (profiling overhead {o:.2}%)"))
+            .unwrap_or_default(),
+        p.total_allocs,
+        p.total_frees,
+        p.live_bytes,
+    ));
+    out.push_str(&format!(
+        "fragmentation A/U {}  held_peak {} B  live_peak {} B  empty superblocks {}\n",
+        run.fragmentation()
+            .map(|f| format!("{f:.3}"))
+            .unwrap_or_else(|| "n/a".to_string()),
+        run.result.snapshot.held_peak,
+        p.live_peak_bytes,
+        run.heap_map.empty_superblocks(),
+    ));
+    out.push_str(&format!("top {} sites by live bytes:\n", top_k.min(p.sites.len())));
+    for s in p.top_sites(top_k) {
+        out.push_str(&format!(
+            "  {:<20} live {:>10} B ({} objs)  cumulative {:>12} B ({} allocs)\n",
+            s.name, s.live_bytes, s.live_objects, s.total_bytes, s.total_allocs
+        ));
+    }
+    if p.leaks.is_empty() {
+        out.push_str("leaks: none\n");
+    } else {
+        out.push_str(&format!(
+            "leaks: {} B in {} objects across {} sites (age deciles {:?})\n",
+            p.leaked_bytes(),
+            p.leaks.iter().map(|l| l.objects).sum::<u64>(),
+            p.leaks.len(),
+            p.age_deciles,
+        ));
+        for l in &p.leaks {
+            out.push_str(&format!(
+                "  {:<20} {:>10} B in {} objects, oldest age {}\n",
+                l.name, l.bytes, l.objects, l.oldest_age
+            ));
+        }
+    }
+    if with_timeline {
+        out.push_str(&format!("timeline ({} points):\n", p.timeline.len()));
+        for pt in &p.timeline {
+            out.push_str(&format!(
+                "  t={:<12} A={:<12} U={}\n",
+                pt.ts, pt.held_bytes, pt.live_bytes
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_traffic() -> TrcTrace {
+        server_traffic::generate(&server_traffic::Params {
+            workers: 2,
+            sessions: 800,
+            seed: 7,
+            ..Default::default()
+        })
+        .0
+    }
+
+    #[test]
+    fn profiled_replay_attributes_sites_and_finds_no_leaks() {
+        let run = profile_trc(
+            &quick_traffic(),
+            HoardConfig::with_default_magazines(),
+            ProfileConfig::default(),
+            false,
+            0,
+        )
+        .expect("replays");
+        // Server traffic stamps site = tenant + 1, so every alloc is
+        // attributed and the untagged site never appears.
+        assert!(run.profile.sites.iter().all(|s| s.site != 0));
+        assert!(run.profile.sites.len() > 1, "multiple tenants profiled");
+        assert_eq!(run.profile.total_allocs, run.result.snapshot.allocs);
+        assert_eq!(run.profile.leaked_bytes(), 0, "traffic frees everything");
+        assert_eq!(run.profile.live_bytes, 0);
+        assert!(!run.profile.timeline.is_empty(), "timeline sampled");
+    }
+
+    #[test]
+    fn profiled_replay_is_deterministic() {
+        let trc = quick_traffic();
+        let a = profile_trc(
+            &trc,
+            HoardConfig::with_default_magazines(),
+            ProfileConfig::default(),
+            false,
+            0,
+        )
+        .unwrap();
+        let b = profile_trc(
+            &trc,
+            HoardConfig::with_default_magazines(),
+            ProfileConfig::default(),
+            false,
+            0,
+        )
+        .unwrap();
+        assert_eq!(a.result.makespan, b.result.makespan);
+        assert_eq!(a.profile, b.profile, "profiles byte-identical");
+        assert_eq!(a.heap_map, b.heap_map);
+    }
+
+    #[test]
+    fn injected_leak_trips_the_gate_and_clean_runs_pass() {
+        let budget = BudgetFile::parse("max_leaked_bytes 0\n").unwrap();
+        let clean = profile_trc(
+            &quick_traffic(),
+            HoardConfig::with_default_magazines(),
+            ProfileConfig::default(),
+            false,
+            0,
+        )
+        .unwrap();
+        assert!(budget.for_workload("x").violations(&clean).is_empty());
+
+        let leaky = profile_trc(
+            &quick_traffic(),
+            HoardConfig::with_default_magazines(),
+            ProfileConfig::default(),
+            false,
+            4_096,
+        )
+        .unwrap();
+        assert_eq!(leaky.profile.leaked_bytes(), 4_096);
+        assert_eq!(leaky.profile.leaks[0].name, "injected_leak");
+        let v = budget.for_workload("x").violations(&leaky);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("injected_leak"), "{v:?}");
+    }
+
+    #[test]
+    fn budget_file_parses_overrides_and_rejects_junk() {
+        let f = BudgetFile::parse(
+            "# global\nmax_fragmentation 3.5\nmax_leaked_bytes 0\n\
+             threadtest.max_held_peak_bytes 123456\n",
+        )
+        .unwrap();
+        let t = f.for_workload("threadtest");
+        assert_eq!(t.max_fragmentation, Some(3.5));
+        assert_eq!(t.max_held_peak_bytes, Some(123_456));
+        let other = f.for_workload("prod-cons");
+        assert_eq!(other.max_held_peak_bytes, None);
+        assert_eq!(other.max_leaked_bytes, Some(0));
+
+        assert!(BudgetFile::parse("max_bogus 1\n").is_err());
+        assert!(BudgetFile::parse("max_fragmentation\n").is_err());
+        assert!(BudgetFile::parse("max_fragmentation 1 2\n").is_err());
+    }
+
+    #[test]
+    fn catalog_workloads_profile_cleanly() {
+        for name in PROFILE_CATALOG {
+            let run = profile_workload(
+                name,
+                HoardConfig::with_default_magazines(),
+                2,
+                true,
+                ProfileConfig::default(),
+                false,
+                0,
+            );
+            assert_eq!(run.profile.leaked_bytes(), 0, "{name} leaks");
+            assert!(run.profile.total_allocs > 0, "{name} profiled nothing");
+            assert!(
+                run.heap_map.heaps.len() >= 2,
+                "{name} heap map covers global + per-proc heaps"
+            );
+        }
+    }
+
+    #[test]
+    fn report_section_shape() {
+        let run = profile_trc(
+            &quick_traffic(),
+            HoardConfig::with_default_magazines(),
+            ProfileConfig::default(),
+            false,
+            0,
+        )
+        .unwrap();
+        let v = heap_profile_section(&run, 3);
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(HEAP_PROFILE_SCHEMA));
+        let sites = v.get("top_sites").unwrap().as_array().unwrap();
+        assert!(sites.len() <= 3);
+        assert!(v
+            .get("timeline")
+            .unwrap()
+            .get("points")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0);
+        let text = render_profile(&run, 5, true);
+        assert!(text.contains("top"), "{text}");
+        assert!(text.contains("leaks: none"), "{text}");
+    }
+}

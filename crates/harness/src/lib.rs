@@ -23,6 +23,7 @@
 
 mod experiments;
 mod factory;
+mod heap_profile;
 mod scope;
 mod speedup;
 mod summary;
@@ -32,6 +33,10 @@ mod tune;
 
 pub use experiments::{all_experiments, experiment_by_id, Experiment, RunOptions};
 pub use factory::AllocatorKind;
+pub use heap_profile::{
+    heap_profile_section, profile_trc, profile_workload, render_profile, BudgetFile, MemoryBudget,
+    ProfiledRun, INJECTED_LEAK_SITE, PROFILE_CATALOG,
+};
 pub use scope::{
     class_table, event_summary, heap_lock_acquisitions, lock_table, metrics_table, scope_report,
     traced_larson, traced_larson_with, transfer_table, ScopeRun,

@@ -207,8 +207,16 @@ pub fn replay_digest(result: &WorkloadResult, metrics: &MetricsSnapshot) -> u64 
 ///   `A/U`), byte accounting, and the determinism `digest`;
 /// * `classes` — per-size-class allocation histogram aggregated across
 ///   heaps, with the class's block size resolved from `config`;
-/// * `registry` — superblock-registry occupancy / degraded gauges.
-pub fn report_for(trc: &TrcTrace, outcome: &ReplayOutcome, config: &HoardConfig) -> String {
+/// * `registry` — superblock-registry occupancy / degraded gauges;
+/// * `heap_profile` — present when a profiled replay is supplied: the
+///   [`crate::heap_profile_section`] summary (timeline endpoints,
+///   top sites, leak totals, heap-map gauges).
+pub fn report_for(
+    trc: &TrcTrace,
+    outcome: &ReplayOutcome,
+    config: &HoardConfig,
+    heap_profile: Option<JsonValue>,
+) -> String {
     let r = &outcome.result;
     let s = &r.snapshot;
 
@@ -281,14 +289,17 @@ pub fn report_for(trc: &TrcTrace, outcome: &ReplayOutcome, config: &HoardConfig)
         ("overflowed", JsonValue::Bool(reg.overflowed)),
     ]);
 
-    obj(vec![
+    let mut fields = vec![
         ("schema", JsonValue::Str(TRC_REPORT_SCHEMA.to_string())),
         ("trace", trace),
         ("replay", replay),
         ("classes", classes),
         ("registry", registry),
-    ])
-    .to_json()
+    ];
+    if let Some(profile) = heap_profile {
+        fields.push(("heap_profile", profile));
+    }
+    obj(fields).to_json()
 }
 
 #[cfg(test)]
@@ -349,7 +360,7 @@ mod tests {
         });
         let config = HoardConfig::with_default_magazines();
         let out = replay_trc(&trc, config).unwrap();
-        let json = report_for(&trc, &out, &config);
+        let json = report_for(&trc, &out, &config, None);
         let doc = JsonValue::parse(&json).expect("valid JSON");
         assert_eq!(
             doc.get("schema").and_then(JsonValue::as_str),

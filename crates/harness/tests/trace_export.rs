@@ -4,8 +4,15 @@
 //! one track per processor covering allocation, magazine, transfer and
 //! lock activity — and `hoardscope` must summarize it.
 
-use hoard_core::{chrome_trace_json, jsonio::JsonValue, EventKind, CHROME_PID};
-use hoard_harness::{scope_report, traced_larson};
+use hoard_core::{
+    chrome_trace_json, jsonio::JsonValue, EventKind, HoardConfig, ProfileConfig, CHROME_PID,
+    HEAP_PROFILE_SCHEMA,
+};
+use hoard_harness::{
+    heap_profile_section, profile_trc, replay_trc, report_for, scope_report, traced_larson,
+    TRC_REPORT_SCHEMA,
+};
+use hoard_workloads::server_traffic;
 
 #[test]
 fn traced_larson_exports_valid_chrome_trace_and_hoardscope_reports_it() {
@@ -119,4 +126,86 @@ fn traced_larson_exports_valid_chrome_trace_and_hoardscope_reports_it() {
             "fixed-seed {label} count must reproduce"
         );
     }
+}
+
+/// The `hoardscope trc report` schema with the heap-profile section:
+/// every field CI's validator reads must be present with the right
+/// shape, and the section must agree with the profiled replay it came
+/// from.
+#[test]
+fn trc_report_carries_the_heap_profile_section() {
+    let (trc, _) = server_traffic::generate(&server_traffic::Params {
+        workers: 2,
+        sessions: 800,
+        seed: 11,
+        ..Default::default()
+    });
+    let config = HoardConfig::with_default_magazines();
+    let out = replay_trc(&trc, config).expect("replays");
+    let profiled = profile_trc(&trc, config, ProfileConfig::default(), false, 0).expect("profiles");
+    let json = report_for(
+        &trc,
+        &out,
+        &config,
+        Some(heap_profile_section(&profiled, 5)),
+    );
+
+    let doc = JsonValue::parse(&json).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some(TRC_REPORT_SCHEMA)
+    );
+    let hp = doc.get("heap_profile").expect("heap_profile section");
+    assert_eq!(
+        hp.get("schema").and_then(JsonValue::as_str),
+        Some(HEAP_PROFILE_SCHEMA)
+    );
+    assert_eq!(
+        hp.get("total_allocs").and_then(JsonValue::as_u64),
+        Some(profiled.profile.total_allocs)
+    );
+    assert_eq!(hp.get("unmatched_frees").and_then(JsonValue::as_u64), Some(0));
+
+    let timeline = hp.get("timeline").expect("timeline summary");
+    for field in ["points", "interval", "held_peak_bytes", "live_peak_bytes"] {
+        assert!(
+            timeline.get(field).and_then(JsonValue::as_u64).is_some(),
+            "timeline.{field} missing or not a number"
+        );
+    }
+    assert!(
+        timeline.get("peak_fragmentation").is_some(),
+        "peak_fragmentation present (number or null)"
+    );
+
+    let sites = hp
+        .get("top_sites")
+        .and_then(JsonValue::as_array)
+        .expect("top_sites array");
+    assert!(!sites.is_empty() && sites.len() <= 5);
+    for s in sites {
+        assert!(s.get("site").and_then(JsonValue::as_u64).is_some());
+        assert!(s.get("name").and_then(JsonValue::as_str).is_some());
+        for field in ["live_bytes", "total_bytes", "total_allocs"] {
+            assert!(s.get(field).and_then(JsonValue::as_u64).is_some());
+        }
+    }
+
+    let leaks = hp.get("leaks").expect("leaks summary");
+    assert_eq!(leaks.get("bytes").and_then(JsonValue::as_u64), Some(0));
+    assert_eq!(leaks.get("sites").and_then(JsonValue::as_u64), Some(0));
+
+    let map = hp.get("heap_map").expect("heap_map gauges");
+    assert_eq!(map.get("live_bytes").and_then(JsonValue::as_u64), Some(0));
+    assert!(map.get("held_bytes").and_then(JsonValue::as_u64).is_some());
+    assert!(map
+        .get("empty_superblocks")
+        .and_then(JsonValue::as_u64)
+        .is_some());
+
+    // Without a profiled replay the section is simply absent — the v1
+    // report shape is unchanged.
+    let plain = report_for(&trc, &out, &config, None);
+    let plain_doc = JsonValue::parse(&plain).expect("valid JSON");
+    assert!(plain_doc.get("heap_profile").is_none());
 }

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 thread_local! {
     static CLOCK: Cell<u64> = const { Cell::new(0) };
     static PROC: Cell<usize> = const { Cell::new(usize::MAX) };
+    static ALLOC_SITE: Cell<u32> = const { Cell::new(0) };
 }
 
 static NEXT_FREE_PROC: AtomicUsize = AtomicUsize::new(0);
@@ -122,6 +123,26 @@ pub fn has_proc() -> bool {
 /// Assign a machine processor id to the calling thread.
 pub(crate) fn set_proc(id: usize) {
     PROC.with(|p| p.set(id));
+}
+
+/// Tag the calling thread's next allocations with `site`, returning the
+/// previous tag.
+///
+/// The *allocation site* is a workload-chosen token (0 = untagged)
+/// identifying the logical call site of the allocations that follow —
+/// the simulated analogue of a return-address sample. It rides in a
+/// thread-local so the tag crosses the allocator API without widening
+/// any signature; an attached heap profiler reads it via
+/// [`current_alloc_site`], and with no profiler attached the register
+/// is never consulted. Callers restore the previous tag when their
+/// scope ends (see `Obj::alloc_site` in the workloads crate).
+pub fn set_alloc_site(site: u32) -> u32 {
+    ALLOC_SITE.with(|s| s.replace(site))
+}
+
+/// The calling thread's current allocation-site tag (0 = untagged).
+pub fn current_alloc_site() -> u32 {
+    ALLOC_SITE.with(|s| s.get())
 }
 
 #[cfg(test)]

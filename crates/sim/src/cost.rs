@@ -79,9 +79,16 @@ pub enum Cost {
     /// time honestly — and deterministically, since ticks are claimed on
     /// the virtual clock.
     TuneTick,
+    /// One heap-profiler sample: updating a site's live-byte counters on
+    /// an allocation/free, or taking one fragmentation-timeline reading
+    /// (two atomic loads plus a store into a thread-shared series).
+    /// Charged only when a profiler is attached, so profiling-off runs
+    /// are bit-identical in virtual time; timeline ticks are CAS-claimed
+    /// on the virtual clock so `.trc` replay stays byte-deterministic.
+    ProfileSample,
 }
 
-const N_COSTS: usize = 18;
+const N_COSTS: usize = 19;
 
 fn index(cost: Cost) -> usize {
     match cost {
@@ -103,6 +110,7 @@ fn index(cost: Cost) -> usize {
         Cost::AtomicRmw => 15,
         Cost::MaskLookup => 16,
         Cost::TuneTick => 17,
+        Cost::ProfileSample => 18,
     }
 }
 
@@ -133,6 +141,8 @@ pub struct CostModel {
     pub mask_lookup: u64,
     #[serde(default)]
     pub tune_tick: u64,
+    #[serde(default)]
+    pub profile_sample: u64,
 }
 
 impl Default for CostModel {
@@ -178,6 +188,11 @@ impl Default for CostModel {
             // roughly a lock handoff's worth of work, paid once per
             // tuning interval rather than per operation.
             tune_tick: 150,
+            // A profiler sample is a couple of counter bumps on a warm
+            // shared line: pricier than a ring store (it contends with
+            // other samplers), far below a fast-path malloc — the honest
+            // tax for keeping per-site live-byte books.
+            profile_sample: 2,
         }
     }
 }
@@ -224,6 +239,7 @@ impl CostModel {
             atomic_rmw: unit,
             mask_lookup: unit,
             tune_tick: unit,
+            profile_sample: unit,
         }
     }
 
@@ -248,6 +264,7 @@ impl CostModel {
             Cost::AtomicRmw => self.atomic_rmw,
             Cost::MaskLookup => self.mask_lookup,
             Cost::TuneTick => self.tune_tick,
+            Cost::ProfileSample => self.profile_sample,
         }
     }
 
@@ -283,6 +300,7 @@ impl CostModel {
             atomic_rmw: get(Cost::AtomicRmw),
             mask_lookup: get(Cost::MaskLookup),
             tune_tick: get(Cost::TuneTick),
+            profile_sample: get(Cost::ProfileSample),
         }
     }
 }
@@ -306,6 +324,7 @@ const ALL: [Cost; N_COSTS] = [
     Cost::AtomicRmw,
     Cost::MaskLookup,
     Cost::TuneTick,
+    Cost::ProfileSample,
 ];
 
 static GLOBAL: [AtomicU64; N_COSTS] = {
@@ -328,6 +347,7 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         atomic_rmw: 40,
         mask_lookup: 2,
         tune_tick: 150,
+        profile_sample: 2,
     };
     [
         AtomicU64::new(D.malloc_fast),
@@ -348,6 +368,7 @@ static GLOBAL: [AtomicU64; N_COSTS] = {
         AtomicU64::new(D.atomic_rmw),
         AtomicU64::new(D.mask_lookup),
         AtomicU64::new(D.tune_tick),
+        AtomicU64::new(D.profile_sample),
     ]
 };
 

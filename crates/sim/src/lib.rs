@@ -58,7 +58,10 @@ mod vlock;
 
 pub use cache::CacheModel;
 pub use channel::{vchannel, vchannel_bounded, VReceiver, VSender};
-pub use clock::{charge, current_proc, has_proc, now, set_clock, switch_context, VirtualClock};
+pub use clock::{
+    charge, current_alloc_site, current_proc, has_proc, now, set_alloc_site, set_clock,
+    switch_context, VirtualClock,
+};
 pub use cost::{Cost, CostModel};
 pub use machine::{sequential_scope, Machine};
 pub use report::RunReport;

@@ -1,0 +1,243 @@
+//! Heap-map snapshots: a structural photograph of the allocator's
+//! memory state.
+//!
+//! Where the metrics registry (PR 3) counts *events*, a [`HeapMap`]
+//! captures *state*: for every heap × size class, how many superblocks
+//! are held, how full each one is, and how the heap's held bytes `a`
+//! compare to its live bytes `u`. Hoard's central claims — bounded
+//! blowup `O(U + P·S)`, the emptiness invariant, low fragmentation —
+//! are statements about exactly these quantities, so the snapshot is
+//! the measurement the claims are judged against.
+//!
+//! The types live here (core-agnostic plain data) so exporters and the
+//! harness can consume them without depending on `hoard-core`; the
+//! allocator builds them via `HoardAllocator::heap_map_snapshot`, which
+//! walks each heap's superblock lists under that heap's lock.
+
+use crate::jsonio::{obj, JsonValue};
+
+/// Number of occupancy buckets in [`HeapMapClass::occupancy`]: bucket
+/// `i` counts superblocks with `in_use/capacity` in `[i/8, (i+1)/8)`,
+/// except the last which also includes completely full blocks.
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// One heap × size-class row: superblock count, aggregate block usage,
+/// and an occupancy histogram over the class's superblocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapMapClass {
+    /// Size-class index.
+    pub class: u32,
+    /// Block size of the class in bytes.
+    pub block_size: u32,
+    /// Superblocks of this class attached to the heap.
+    pub superblocks: u32,
+    /// Blocks currently allocated across those superblocks.
+    pub blocks_in_use: u64,
+    /// Total block capacity across those superblocks.
+    pub capacity: u64,
+    /// Superblock counts by fullness octile (see [`OCCUPANCY_BUCKETS`]).
+    pub occupancy: [u32; OCCUPANCY_BUCKETS],
+}
+
+impl HeapMapClass {
+    /// The occupancy bucket for a superblock `in_use/capacity` ratio.
+    pub fn bucket(in_use: u64, capacity: u64) -> usize {
+        if capacity == 0 {
+            return 0;
+        }
+        (((in_use * OCCUPANCY_BUCKETS as u64) / capacity) as usize).min(OCCUPANCY_BUCKETS - 1)
+    }
+}
+
+/// One heap's snapshot: `u`/`a` gauges plus per-class rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapMapHeap {
+    /// Heap index (0 is the global heap).
+    pub index: usize,
+    /// Live (allocated) bytes attributed to the heap — Hoard's `u_i`,
+    /// in block-size bytes.
+    pub live_bytes: u64,
+    /// Held bytes attributed to the heap — Hoard's `a_i`.
+    pub held_bytes: u64,
+    /// Completely empty superblocks parked on the heap (the pool the
+    /// emptiness invariant bounds by `K`).
+    pub empty_superblocks: usize,
+    /// Per-class rows, ascending by class; classes with no superblocks
+    /// are omitted.
+    pub classes: Vec<HeapMapClass>,
+}
+
+/// A full per-heap × per-class snapshot of allocator memory state at
+/// one virtual instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapMap {
+    /// Virtual timestamp the snapshot was taken at.
+    pub ts: u64,
+    /// One entry per heap, ascending by index.
+    pub heaps: Vec<HeapMapHeap>,
+}
+
+impl HeapMap {
+    /// Live bytes summed over all heaps (Hoard's `U`, as the heap
+    /// bookkeeping sees it).
+    pub fn live_bytes(&self) -> u64 {
+        self.heaps.iter().map(|h| h.live_bytes).sum()
+    }
+
+    /// Held bytes summed over all heaps (Hoard's `A`).
+    pub fn held_bytes(&self) -> u64 {
+        self.heaps.iter().map(|h| h.held_bytes).sum()
+    }
+
+    /// Empty superblocks summed over all heaps.
+    pub fn empty_superblocks(&self) -> usize {
+        self.heaps.iter().map(|h| h.empty_superblocks).sum()
+    }
+
+    /// Heaps whose parked-empty pool exceeds the slack `k` — superblocks
+    /// the emptiness invariant says should have moved to the global
+    /// heap (a retention signal, not necessarily a bug: the front-end
+    /// may be holding them deliberately).
+    pub fn heaps_over_slack(&self, k: usize) -> Vec<usize> {
+        self.heaps
+            .iter()
+            .filter(|h| h.index != 0 && h.empty_superblocks > k)
+            .map(|h| h.index)
+            .collect()
+    }
+
+    /// The snapshot as a deterministic JSON value (embedded by the
+    /// `hoard-heap-profile-v1` exporter and the trc report).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("ts".into(), JsonValue::Uint(self.ts)),
+            ("live_bytes".into(), JsonValue::Uint(self.live_bytes())),
+            ("held_bytes".into(), JsonValue::Uint(self.held_bytes())),
+            (
+                "empty_superblocks".into(),
+                JsonValue::Uint(self.empty_superblocks() as u64),
+            ),
+            (
+                "heaps".into(),
+                JsonValue::Arr(self.heaps.iter().map(heap_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn heap_json(h: &HeapMapHeap) -> JsonValue {
+    obj(vec![
+        ("index", JsonValue::Uint(h.index as u64)),
+        ("live_bytes", JsonValue::Uint(h.live_bytes)),
+        ("held_bytes", JsonValue::Uint(h.held_bytes)),
+        (
+            "empty_superblocks",
+            JsonValue::Uint(h.empty_superblocks as u64),
+        ),
+        (
+            "classes",
+            JsonValue::Arr(
+                h.classes
+                    .iter()
+                    .map(|c| {
+                        obj(vec![
+                            ("class", JsonValue::Uint(c.class as u64)),
+                            ("block_size", JsonValue::Uint(c.block_size as u64)),
+                            ("superblocks", JsonValue::Uint(c.superblocks as u64)),
+                            ("blocks_in_use", JsonValue::Uint(c.blocks_in_use)),
+                            ("capacity", JsonValue::Uint(c.capacity)),
+                            (
+                                "occupancy",
+                                JsonValue::Arr(
+                                    c.occupancy
+                                        .iter()
+                                        .map(|&n| JsonValue::Uint(n as u64))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HeapMap {
+        HeapMap {
+            ts: 42,
+            heaps: vec![
+                HeapMapHeap {
+                    index: 0,
+                    live_bytes: 0,
+                    held_bytes: 8192,
+                    empty_superblocks: 1,
+                    classes: vec![],
+                },
+                HeapMapHeap {
+                    index: 1,
+                    live_bytes: 640,
+                    held_bytes: 8192,
+                    empty_superblocks: 3,
+                    classes: vec![HeapMapClass {
+                        class: 2,
+                        block_size: 64,
+                        superblocks: 1,
+                        blocks_in_use: 10,
+                        capacity: 120,
+                        occupancy: {
+                            let mut o = [0; OCCUPANCY_BUCKETS];
+                            o[0] = 1;
+                            o
+                        },
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_heaps() {
+        let m = sample();
+        assert_eq!(m.live_bytes(), 640);
+        assert_eq!(m.held_bytes(), 16384);
+        assert_eq!(m.empty_superblocks(), 4);
+    }
+
+    #[test]
+    fn slack_check_skips_the_global_heap() {
+        let m = sample();
+        assert_eq!(m.heaps_over_slack(2), vec![1]);
+        assert!(m.heaps_over_slack(3).is_empty(), "at the bound is fine");
+    }
+
+    #[test]
+    fn occupancy_buckets_cover_the_range() {
+        assert_eq!(HeapMapClass::bucket(0, 120), 0);
+        assert_eq!(HeapMapClass::bucket(119, 120), OCCUPANCY_BUCKETS - 1);
+        assert_eq!(
+            HeapMapClass::bucket(120, 120),
+            OCCUPANCY_BUCKETS - 1,
+            "full blocks land in the last bucket"
+        );
+        assert_eq!(HeapMapClass::bucket(0, 0), 0, "bump superblocks");
+    }
+
+    #[test]
+    fn json_roundtrips_and_is_deterministic() {
+        let m = sample();
+        let text = m.to_json_value().to_json();
+        assert_eq!(text, m.to_json_value().to_json());
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("live_bytes").unwrap().as_u64(), Some(640));
+        assert_eq!(
+            v.get("heaps").unwrap().as_array().unwrap().len(),
+            2,
+            "both heaps exported"
+        );
+    }
+}

@@ -11,21 +11,29 @@
 //!   per-heap × per-size-class counters plus log₂ histograms of lock
 //!   wait/hold, superblock fullness at transfer, and magazine
 //!   occupancy, with snapshot/delta semantics and JSON export.
+//! - **Live-heap profiler** ([`HeapProfiler`], [`ProfileSnapshot`],
+//!   [`HeapMap`]): allocation-site live-byte attribution, CAS-claimed
+//!   fragmentation timelines (`A` vs `U` on the virtual clock), leak
+//!   reports at quiesce, and per-heap × per-class occupancy snapshots,
+//!   exported as collapsed-stack profiles and `hoard-heap-profile-v1`
+//!   JSON.
 //! - **Exporters**: [`chrome_trace_json`] emits Chrome `trace_event`
 //!   JSON (one track per simulated processor) loadable in Perfetto;
 //!   the `hoardscope` harness binary renders text reports.
 //!
-//! Both recorders are *attachable*: an allocator holds a null pointer
-//! until a sink/registry is installed, so the disabled configuration
-//! costs one relaxed load + branch in real time and **zero** virtual
-//! time — the bit-identity guarantee DESIGN.md §10 documents and
-//! `crates/core/tests/telemetry.rs` enforces.
+//! All recorders are *attachable*: an allocator holds a null pointer
+//! until a sink/registry/profiler is installed, so the disabled
+//! configuration costs one relaxed load + branch in real time and
+//! **zero** virtual time — the bit-identity guarantee DESIGN.md §10
+//! documents and `crates/core/tests/telemetry.rs` enforces.
 
 mod chrome;
 mod event;
+mod heapmap;
 pub mod jsonio;
 mod log;
 mod metrics;
+mod profile;
 mod recorder;
 mod sink;
 mod trc;
@@ -37,9 +45,14 @@ pub use metrics::{
     ClassMetrics, ClassTotals, HardeningMetrics, HeapMetrics, Histogram, HistogramSnapshot,
     MetricsRegistry, MetricsSnapshot, RegistryMetrics, HISTOGRAM_BUCKETS,
 };
+pub use heapmap::{HeapMap, HeapMapClass, HeapMapHeap, OCCUPANCY_BUCKETS};
+pub use profile::{
+    HeapProfiler, LeakRecord, ProfileConfig, ProfileSnapshot, SiteStats, TimelinePoint,
+    DEFAULT_TIMELINE_INTERVAL, HEAP_PROFILE_SCHEMA,
+};
 pub use recorder::{RecorderStats, TrcRecorder};
 pub use sink::{TraceConfig, TraceSink};
 pub use trc::{
     TrcError, TrcHeader, TrcOp, TrcReader, TrcRecord, TrcStreamIter, TrcTrace, TrcWriter,
-    TRC_MAGIC, TRC_VERSION,
+    TRC_MAGIC, TRC_MIN_VERSION, TRC_VERSION,
 };

@@ -4,12 +4,22 @@
 //! Attached to an allocator exactly like [`TraceSink`](crate::TraceSink)
 //! (null-default pointer, one relaxed load when detached), but instead
 //! of address-free [`Event`](crate::Event)s it captures the *replayable*
-//! stream: every `allocate`/`deallocate` with its size, emitting virtual
-//! processor, virtual timestamp, and a **pointer token**. Tokens are
-//! dense ids minted at allocation and retired at free, so a recording of
-//! a seeded run is byte-identical across processes even though the OS
-//! hands out different addresses — the property the golden-fixture test
-//! pins down.
+//! stream: every `allocate`/`deallocate` with its size, site tag,
+//! emitting virtual processor, virtual timestamp, and a **pointer
+//! token**. Tokens are dense ids minted at allocation and retired at
+//! free, so a recording of a seeded run is byte-identical across
+//! processes even though the OS hands out different addresses — the
+//! property the golden-fixture test pins down.
+//!
+//! **Timing fidelity**: each captured op carries a `[start, end]`
+//! virtual-time span (the allocator stamps `start` before entering its
+//! own paths and patches `end` after leaving them). At
+//! [`TrcRecorder::trace`] time the gap between one op's end and the
+//! next op's start on the same processor — the application's own
+//! compute — is materialized as a synthesized [`TrcOp::Work`] record,
+//! so a replay that re-executes the allocation schedule *and* charges
+//! the recorded inter-op work lands on the recorded makespan instead of
+//! undershooting it.
 //!
 //! Each captured op charges [`Cost::TraceEvent`], the same honesty rule
 //! as the event tracer: capture overhead shows up in virtual makespan
@@ -48,19 +58,28 @@ struct TokenMap {
     next: u64,
 }
 
-/// One capture stream: `(absolute virtual ts, op)` pairs in program
-/// order, locked independently of every other stream.
-type Track = Mutex<Vec<(u64, TrcOp)>>;
+/// One captured op with its virtual-time span.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: u64,
+    end: u64,
+    op: TrcOp,
+}
+
+/// One capture stream: spans in program order, locked independently of
+/// every other stream.
+type Track = Mutex<Vec<Span>>;
 
 /// The attachable `.trc` capture device. See the module docs.
 pub struct TrcRecorder {
     seed: u64,
     config: String,
-    /// Per-proc tracks of `(absolute virtual ts, op)`; deltas are
-    /// computed at [`TrcRecorder::trace`] time.
+    /// Per-proc tracks of op spans; deltas and inter-op `Work` records
+    /// are computed at [`TrcRecorder::trace`] time.
     tracks: Box<[Track]>,
     /// Ops from procs outside `0..tracks.len()`, all on one overflow
-    /// stream (index `tracks.len()` in the finished trace).
+    /// stream (index `tracks.len()` in the finished trace). No `Work`
+    /// synthesis: the stream mixes procs, so gaps are meaningless.
     spill: Track,
     tokens: Mutex<TokenMap>,
     unmatched_frees: AtomicU64,
@@ -89,22 +108,29 @@ impl TrcRecorder {
         }
     }
 
-    fn push(&self, op: TrcOp) {
+    fn push(&self, start: u64, op: TrcOp) {
         charge_cost(Cost::TraceEvent);
-        let ts = now();
+        let end = now();
         let proc = current_proc();
+        let span = Span {
+            start: start.min(end),
+            end,
+            op,
+        };
         match self.tracks.get(proc) {
-            Some(track) => track.lock().unwrap().push((ts, op)),
+            Some(track) => track.lock().unwrap().push(span),
             None => {
                 self.spilled.fetch_add(1, Ordering::Relaxed);
-                self.spill.lock().unwrap().push((ts, op));
+                self.spill.lock().unwrap().push(span);
             }
         }
     }
 
-    /// Capture a successful allocation of `size` bytes at `addr`,
-    /// minting a fresh pointer token for it.
-    pub fn record_alloc(&self, addr: usize, size: usize) {
+    /// Capture a successful allocation of `size` bytes at `addr` tagged
+    /// with `site`, minting a fresh pointer token for it. `start_ts` is
+    /// the caller's clock from *before* it entered the allocator, so
+    /// the span covers the allocation's own cost.
+    pub fn record_alloc(&self, addr: usize, size: usize, site: u32, start_ts: u64) {
         let token = {
             let mut map = self.tokens.lock().unwrap();
             let token = map.next;
@@ -114,23 +140,45 @@ impl TrcRecorder {
             token
         };
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        self.push(TrcOp::Alloc {
-            token,
-            size: u32::try_from(size).unwrap_or(u32::MAX),
-        });
+        self.push(
+            start_ts,
+            TrcOp::Alloc {
+                token,
+                size: u32::try_from(size).unwrap_or(u32::MAX),
+                site,
+            },
+        );
     }
 
     /// Capture a free of `addr`, retiring its token. Frees of addresses
     /// this recorder never saw allocated are counted and dropped.
-    pub fn record_free(&self, addr: usize) {
+    ///
+    /// Must be called *before* the block is actually released (so a
+    /// concurrent re-allocation of the address cannot overtake the
+    /// token retirement); the caller patches the span's end with
+    /// [`finish_op`](Self::finish_op) once the free completes.
+    pub fn record_free(&self, addr: usize, start_ts: u64) {
         let token = self.tokens.lock().unwrap().by_addr.remove(&addr);
         match token {
             Some(token) => {
                 self.frees.fetch_add(1, Ordering::Relaxed);
-                self.push(TrcOp::Free { token });
+                self.push(start_ts, TrcOp::Free { token });
             }
             None => {
                 self.unmatched_frees.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Extend the end of the calling processor's most recent captured
+    /// op to `end_ts` (no-op for spilled procs). Lets the allocator
+    /// close a free's span after the deallocation work is done, so the
+    /// gap to the next op doesn't double-count cost the replay will
+    /// re-execute.
+    pub fn finish_op(&self, end_ts: u64) {
+        if let Some(track) = self.tracks.get(current_proc()) {
+            if let Some(last) = track.lock().unwrap().last_mut() {
+                last.end = last.end.max(end_ts);
             }
         }
     }
@@ -146,22 +194,23 @@ impl TrcRecorder {
     }
 
     /// Assemble everything captured so far into a [`TrcTrace`]
-    /// (absolute timestamps become per-stream deltas). Call at a
-    /// quiescent point — after `Machine::run` returns — for a complete
-    /// trace. The overflow stream, if any ops spilled, is appended
-    /// after the per-proc streams, ordered by timestamp.
+    /// (absolute timestamps become per-stream deltas, inter-op gaps
+    /// become `Work` records). Call at a quiescent point — after
+    /// `Machine::run` returns — for a complete trace. The overflow
+    /// stream, if any ops spilled, is appended after the per-proc
+    /// streams, ordered by timestamp.
     pub fn trace(&self) -> TrcTrace {
         let mut streams = Vec::with_capacity(self.tracks.len() + 1);
         for track in self.tracks.iter() {
-            streams.push(delta_encode(&track.lock().unwrap()));
+            streams.push(delta_encode(&track.lock().unwrap(), true));
         }
         let mut spill = self.spill.lock().unwrap().clone();
         if !spill.is_empty() {
             // Spill mixes procs; timestamp order is the only defensible
             // program order for it. Sort is stable, preserving arrival
             // order between equal stamps.
-            spill.sort_by_key(|&(ts, _)| ts);
-            streams.push(delta_encode(&spill));
+            spill.sort_by_key(|s| s.end);
+            streams.push(delta_encode(&spill, false));
         }
         // Drop empty trailing streams so a P=1 capture is 1 stream.
         while streams.last().is_some_and(|s| s.is_empty()) {
@@ -180,15 +229,35 @@ impl TrcRecorder {
     }
 }
 
-fn delta_encode(recs: &[(u64, TrcOp)]) -> Vec<TrcRecord> {
+/// Turn spans into delta-stamped records. With `fill_gaps`, the
+/// stream's inter-op idle time — the application's own compute — is
+/// materialized as `Work` records so replay reproduces the recorded
+/// pacing, not just the recorded schedule.
+fn delta_encode(spans: &[Span], fill_gaps: bool) -> Vec<TrcRecord> {
+    let mut out = Vec::with_capacity(spans.len());
     let mut prev = 0u64;
-    recs.iter()
-        .map(|&(ts, op)| {
-            let dt = ts.saturating_sub(prev);
-            prev = ts.max(prev);
-            TrcRecord { dt, op }
-        })
-        .collect()
+    for s in spans {
+        if fill_gaps {
+            let mut gap = s.start.saturating_sub(prev);
+            while gap > 0 {
+                let units = gap.min(u64::from(u32::MAX));
+                out.push(TrcRecord {
+                    dt: units,
+                    op: TrcOp::Work {
+                        units: units as u32,
+                    },
+                });
+                prev += units;
+                gap -= units;
+            }
+        }
+        out.push(TrcRecord {
+            dt: s.end.saturating_sub(prev),
+            op: s.op,
+        });
+        prev = prev.max(s.end);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -198,22 +267,23 @@ mod tests {
     #[test]
     fn alloc_free_mints_and_retires_tokens() {
         let r = TrcRecorder::new(42, "unit", 1);
-        r.record_alloc(0x1000, 64);
-        r.record_alloc(0x2000, 128);
-        r.record_free(0x1000);
+        r.record_alloc(0x1000, 64, 0, now());
+        r.record_alloc(0x2000, 128, 5, now());
+        r.record_free(0x1000, now());
         // Address reuse gets a fresh token.
-        r.record_alloc(0x1000, 32);
+        r.record_alloc(0x1000, 32, 0, now());
         let t = r.trace();
         assert_eq!(t.seed, 42);
         let ops: Vec<TrcOp> = t.streams.iter().flatten().map(|r| r.op).collect();
         assert_eq!(
             ops,
             vec![
-                TrcOp::Alloc { token: 0, size: 64 },
-                TrcOp::Alloc { token: 1, size: 128 },
+                TrcOp::Alloc { token: 0, size: 64, site: 0 },
+                TrcOp::Alloc { token: 1, size: 128, site: 5 },
                 TrcOp::Free { token: 0 },
-                TrcOp::Alloc { token: 2, size: 32 },
-            ]
+                TrcOp::Alloc { token: 2, size: 32, site: 0 },
+            ],
+            "back-to-back ops synthesize no Work"
         );
         let s = r.stats();
         assert_eq!((s.allocs, s.frees, s.unmatched_frees), (3, 1, 0));
@@ -222,7 +292,7 @@ mod tests {
     #[test]
     fn unmatched_free_is_counted_not_recorded() {
         let r = TrcRecorder::new(0, "unit", 1);
-        r.record_free(0xDEAD);
+        r.record_free(0xDEAD, now());
         assert_eq!(r.stats().unmatched_frees, 1);
         assert!(r.trace().is_empty());
     }
@@ -231,30 +301,76 @@ mod tests {
     fn capture_charges_virtual_time() {
         let r = TrcRecorder::new(0, "unit", 1);
         let before = hoard_sim::now();
-        r.record_alloc(0x10, 8);
+        r.record_alloc(0x10, 8, 0, before);
         let per_event = hoard_sim::CostModel::current().trace_event;
         assert_eq!(hoard_sim::now(), before + per_event);
     }
 
     #[test]
-    fn timestamps_become_deltas() {
-        let recs = vec![
-            (100, TrcOp::Work { units: 1 }),
-            (130, TrcOp::Work { units: 1 }),
-            (130, TrcOp::Work { units: 1 }),
+    fn inter_op_gaps_become_work_records() {
+        hoard_sim::switch_context(0, 0); // pin to track 0, not the spill
+        let r = TrcRecorder::new(0, "gaps", 1);
+        hoard_sim::work(100); // app compute before the first op
+        r.record_alloc(0x10, 8, 0, now());
+        hoard_sim::work(40); // app compute between ops
+        r.record_alloc(0x20, 8, 0, now());
+        let recs: Vec<TrcRecord> = r.trace().streams.concat();
+        assert_eq!(recs.len(), 4, "two ops, two synthesized gaps: {recs:?}");
+        assert_eq!(recs[0].op, TrcOp::Work { units: 100 });
+        assert_eq!(recs[0].dt, 100);
+        assert!(matches!(recs[1].op, TrcOp::Alloc { .. }));
+        assert_eq!(recs[2].op, TrcOp::Work { units: 40 });
+        assert!(matches!(recs[3].op, TrcOp::Alloc { .. }));
+        // Total recorded time = deltas summed = final clock.
+        assert_eq!(recs.iter().map(|r| r.dt).sum::<u64>(), now());
+    }
+
+    #[test]
+    fn finish_op_extends_the_span_so_gaps_exclude_op_cost() {
+        hoard_sim::switch_context(0, 0); // pin to track 0, not the spill
+        let r = TrcRecorder::new(0, "finish", 1);
+        r.record_alloc(0x10, 8, 0, now());
+        let t0 = now();
+        r.record_free(0x10, t0);
+        hoard_sim::work(25); // the deallocation's own cost
+        r.finish_op(now());
+        hoard_sim::work(10); // app compute after the free completes
+        r.record_alloc(0x20, 8, 0, now());
+        let recs: Vec<TrcRecord> = r.trace().streams.concat();
+        let works: Vec<u32> = recs
+            .iter()
+            .filter_map(|r| match r.op {
+                TrcOp::Work { units } => Some(units),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(works, vec![10], "only the post-free app gap: {recs:?}");
+    }
+
+    #[test]
+    fn spans_become_deltas() {
+        let spans = vec![
+            Span { start: 0, end: 100, op: TrcOp::Work { units: 1 } },
+            Span { start: 100, end: 130, op: TrcOp::Work { units: 1 } },
+            Span { start: 130, end: 130, op: TrcOp::Work { units: 1 } },
         ];
-        let deltas: Vec<u64> = delta_encode(&recs).iter().map(|r| r.dt).collect();
+        let deltas: Vec<u64> = delta_encode(&spans, true).iter().map(|r| r.dt).collect();
         assert_eq!(deltas, vec![100, 30, 0]);
     }
 
     #[test]
     fn roundtrips_through_trc_bytes() {
         let r = TrcRecorder::new(7, "roundtrip", 2);
-        r.record_alloc(0xA, 24);
-        r.record_free(0xA);
+        r.record_alloc(0xA, 24, 3, now());
+        r.record_free(0xA, now());
         let bytes = r.to_bytes();
         let t = TrcTrace::decode(&bytes).expect("decode");
         assert_eq!(t.config, "roundtrip");
         assert_eq!(t.allocs(), 1);
+        let site = t.streams.iter().flatten().find_map(|rec| match rec.op {
+            TrcOp::Alloc { site, .. } => Some(site),
+            _ => None,
+        });
+        assert_eq!(site, Some(3), "site tag survives the wire");
     }
 }

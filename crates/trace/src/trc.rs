@@ -18,12 +18,15 @@
 //!             record count N                 (varint)
 //!             N records:
 //!                 opcode                     (1 byte: 0=alloc 1=free
-//!                                             2=send 3=work)
+//!                                             2=send 3=work
+//!                                             4=alloc+site, v2+)
 //!                 dt since previous record   (varint, virtual units)
 //!                 alloc: token, size         (varint, varint)
 //!                 free:  token               (varint)
 //!                 send:  token, dest stream  (varint, varint)
 //!                 work:  units               (varint)
+//!                 alloc+site: token, size,
+//!                             site           (varint ×3)
 //! end-8   FNV-1a 64 checksum of everything before it (u64 LE)
 //! ```
 //!
@@ -35,7 +38,11 @@
 //! Versioning rule: the magic and version are fixed-position so any
 //! future layout may change everything after byte 6; readers reject
 //! versions they don't know ([`TrcError::UnsupportedVersion`]) rather
-//! than guessing.
+//! than guessing. Version 2 added the allocation-site tag on `Alloc`
+//! records (opcode 4, used only when the site is nonzero — untagged
+//! traces encode byte-identically to v1 modulo the version field); this
+//! reader accepts v1 files, decoding their allocs as site 0, and v1
+//! readers reject v2 files outright rather than mis-decoding opcode 4.
 //!
 //! [`TrcWriter`] streams records in (per-stream buffers, O(record)
 //! work per push); [`TrcReader`] parses back out of a borrowed byte
@@ -49,7 +56,10 @@ use std::fmt;
 pub const TRC_MAGIC: [u8; 4] = *b"HTRC";
 
 /// Current wire-format version.
-pub const TRC_VERSION: u16 = 1;
+pub const TRC_VERSION: u16 = 2;
+
+/// Oldest wire-format version this reader still decodes.
+pub const TRC_MIN_VERSION: u16 = 1;
 
 const CHECKSUM_LEN: usize = 8;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -86,7 +96,10 @@ impl fmt::Display for TrcError {
         match self {
             TrcError::BadMagic => write!(f, "not a .trc file (bad magic)"),
             TrcError::UnsupportedVersion(v) => {
-                write!(f, "unsupported .trc version {v} (this reader knows {TRC_VERSION})")
+                write!(
+                    f,
+                    "unsupported .trc version {v} (this reader knows {TRC_MIN_VERSION}..={TRC_VERSION})"
+                )
             }
             TrcError::Truncated(what) => write!(f, "truncated .trc: ended inside {what}"),
             TrcError::BadVarint(what) => write!(f, "malformed varint in {what}"),
@@ -116,6 +129,9 @@ pub enum TrcOp {
         token: u64,
         /// Requested size in bytes.
         size: u32,
+        /// Allocation-site tag for the heap profiler (0 = untagged;
+        /// see `hoard_sim::set_alloc_site`). Wire format v2+.
+        site: u32,
     },
     /// Free the allocation behind `token`.
     Free {
@@ -140,6 +156,9 @@ const OP_ALLOC: u8 = 0;
 const OP_FREE: u8 = 1;
 const OP_SEND: u8 = 2;
 const OP_WORK: u8 = 3;
+/// v2+: an alloc carrying a nonzero site tag (site-0 allocs keep the
+/// shorter [`OP_ALLOC`] encoding, so untagged traces pay nothing).
+const OP_ALLOC_SITE: u8 = 4;
 
 /// One record: the stream's virtual-clock advance since its previous
 /// record, plus the operation.
@@ -276,11 +295,18 @@ impl TrcWriter {
         }
         let (buf, count) = &mut self.streams[stream];
         match r.op {
-            TrcOp::Alloc { token, size } => {
+            TrcOp::Alloc { token, size, site: 0 } => {
                 buf.push(OP_ALLOC);
                 push_varint(buf, r.dt);
                 push_varint(buf, token);
                 push_varint(buf, u64::from(size));
+            }
+            TrcOp::Alloc { token, size, site } => {
+                buf.push(OP_ALLOC_SITE);
+                push_varint(buf, r.dt);
+                push_varint(buf, token);
+                push_varint(buf, u64::from(size));
+                push_varint(buf, u64::from(site));
             }
             TrcOp::Free { token } => {
                 buf.push(OP_FREE);
@@ -402,7 +428,7 @@ impl<'a> TrcReader<'a> {
         let payload = &bytes[..payload_len];
         let mut c = Cursor { bytes: payload, pos: 4 };
         let version = u16::from_le_bytes(c.take(2, "version")?.try_into().expect("2 bytes"));
-        if version != TRC_VERSION {
+        if !(TRC_MIN_VERSION..=TRC_VERSION).contains(&version) {
             return Err(TrcError::UnsupportedVersion(version));
         }
         let seed = c.varint("seed")?;
@@ -422,7 +448,7 @@ impl<'a> TrcReader<'a> {
             let count = c.varint("record count")?;
             sections.push((c.pos, count));
             for _ in 0..count {
-                skip_record(&mut c)?;
+                skip_record(&mut c, version)?;
             }
         }
         if c.pos != payload_len {
@@ -455,17 +481,26 @@ impl<'a> TrcReader<'a> {
         self.sections.iter().map(|&(pos, count)| TrcStreamIter {
             cursor: Cursor { bytes: self.bytes, pos },
             remaining: count,
+            version: self.header.version,
         })
     }
 }
 
-fn decode_record(c: &mut Cursor<'_>) -> Result<TrcRecord, TrcError> {
+fn decode_record(c: &mut Cursor<'_>, version: u16) -> Result<TrcRecord, TrcError> {
     let opcode = c.byte("record opcode")?;
     let dt = c.varint("record dt")?;
     let op = match opcode {
         OP_ALLOC => TrcOp::Alloc {
             token: c.varint("alloc token")?,
             size: c.varint("alloc size")?.min(u64::from(u32::MAX)) as u32,
+            site: 0,
+        },
+        // Opcode 4 did not exist in v1, so a v1 byte stream carrying it
+        // is corrupt, not forward-compatible.
+        OP_ALLOC_SITE if version >= 2 => TrcOp::Alloc {
+            token: c.varint("alloc token")?,
+            size: c.varint("alloc size")?.min(u64::from(u32::MAX)) as u32,
+            site: c.varint("alloc site")?.min(u64::from(u32::MAX)) as u32,
         },
         OP_FREE => TrcOp::Free {
             token: c.varint("free token")?,
@@ -482,14 +517,15 @@ fn decode_record(c: &mut Cursor<'_>) -> Result<TrcRecord, TrcError> {
     Ok(TrcRecord { dt, op })
 }
 
-fn skip_record(c: &mut Cursor<'_>) -> Result<(), TrcError> {
-    decode_record(c).map(|_| ())
+fn skip_record(c: &mut Cursor<'_>, version: u16) -> Result<(), TrcError> {
+    decode_record(c, version).map(|_| ())
 }
 
 /// Lazy record iterator over one stream of a [`TrcReader`].
 pub struct TrcStreamIter<'a> {
     cursor: Cursor<'a>,
     remaining: u64,
+    version: u16,
 }
 
 impl Iterator for TrcStreamIter<'_> {
@@ -503,7 +539,7 @@ impl Iterator for TrcStreamIter<'_> {
         // Framing was validated by `TrcReader::new`, so this cannot
         // fail on a reader-produced cursor; the Result stays in the
         // signature for defense in depth.
-        Some(decode_record(&mut self.cursor))
+        Some(decode_record(&mut self.cursor, self.version))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -522,12 +558,14 @@ mod tests {
             config: "unit-test P=2".into(),
             streams: vec![
                 vec![
-                    TrcRecord { dt: 0, op: TrcOp::Alloc { token: 0, size: 64 } },
+                    TrcRecord { dt: 0, op: TrcOp::Alloc { token: 0, size: 64, site: 0 } },
                     TrcRecord { dt: 17, op: TrcOp::Work { units: 40 } },
                     TrcRecord { dt: 3, op: TrcOp::Send { token: 0, to: 1 } },
+                    TrcRecord { dt: 2, op: TrcOp::Alloc { token: 1, size: 16, site: 9 } },
                 ],
                 vec![
                     TrcRecord { dt: 1 << 40, op: TrcOp::Free { token: 0 } },
+                    TrcRecord { dt: 0, op: TrcOp::Free { token: 1 } },
                 ],
             ],
         }
@@ -539,8 +577,8 @@ mod tests {
         let bytes = t.encode();
         let back = TrcTrace::decode(&bytes).expect("decode");
         assert_eq!(back, t);
-        assert_eq!(back.len(), 4);
-        assert_eq!(back.allocs(), 1);
+        assert_eq!(back.len(), 6);
+        assert_eq!(back.allocs(), 2);
     }
 
     #[test]
@@ -551,7 +589,64 @@ mod tests {
         assert_eq!(r.header().seed, 0xDEAD_BEEF);
         assert_eq!(r.header().config, "unit-test P=2");
         assert_eq!(r.header().streams, 2);
-        assert_eq!(r.records(), 4);
+        assert_eq!(r.records(), 6);
+    }
+
+    /// A v1 byte stream (no site opcodes) hand-downgraded from the
+    /// current writer: flip the version field and re-seal the checksum.
+    fn as_v1(mut bytes: Vec<u8>) -> Vec<u8> {
+        bytes[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let n = bytes.len() - CHECKSUM_LEN;
+        let sum = fnv1a(FNV_OFFSET, &bytes[..n]);
+        bytes[n..].copy_from_slice(&sum.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn v1_traces_still_decode_as_site_zero() {
+        let t = TrcTrace {
+            seed: 11,
+            config: "legacy".into(),
+            streams: vec![vec![
+                TrcRecord { dt: 5, op: TrcOp::Alloc { token: 0, size: 32, site: 0 } },
+                TrcRecord { dt: 1, op: TrcOp::Free { token: 0 } },
+            ]],
+        };
+        // Site-0 records encode identically in v1 and v2 (same
+        // opcodes), so only the version field differs.
+        let back = TrcTrace::decode(&as_v1(t.encode())).expect("v1 decodes");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn site_opcode_in_a_v1_stream_is_rejected() {
+        let t = TrcTrace {
+            seed: 11,
+            config: "forged".into(),
+            streams: vec![vec![TrcRecord {
+                dt: 0,
+                op: TrcOp::Alloc { token: 0, size: 32, site: 3 },
+            }]],
+        };
+        assert_eq!(
+            TrcTrace::decode(&as_v1(t.encode())),
+            Err(TrcError::BadOpcode(OP_ALLOC_SITE)),
+            "opcode 4 did not exist in v1"
+        );
+    }
+
+    #[test]
+    fn untagged_allocs_keep_the_short_encoding() {
+        let rec = |site| TrcTrace {
+            seed: 0,
+            config: String::new(),
+            streams: vec![vec![TrcRecord { dt: 0, op: TrcOp::Alloc { token: 1, size: 8, site } }]],
+        };
+        assert_eq!(
+            rec(0).encode().len() + 1,
+            rec(3).encode().len(),
+            "a site tag costs exactly its varint (one byte for small sites)"
+        );
     }
 
     #[test]
@@ -617,7 +712,10 @@ mod tests {
             seed: u64::MAX,
             config: "max".into(),
             streams: vec![vec![
-                TrcRecord { dt: u64::MAX, op: TrcOp::Alloc { token: u64::MAX, size: u32::MAX } },
+                TrcRecord {
+                    dt: u64::MAX,
+                    op: TrcOp::Alloc { token: u64::MAX, size: u32::MAX, site: u32::MAX },
+                },
                 TrcRecord { dt: 0, op: TrcOp::Free { token: u64::MAX } },
             ]],
         };

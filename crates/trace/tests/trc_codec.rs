@@ -1,3 +1,7 @@
+// The stub ProptestConfig used offline has only the fields we set, which
+// makes `..default()` a needless_update under clippy; keep it for real proptest.
+#![allow(clippy::needless_update)]
+
 //! Property tests for the `.trc` wire format: encode→decode identity
 //! over randomized record streams, and corruption/truncation rejection
 //! with typed errors — the codec-level half of the pipeline's
@@ -8,7 +12,8 @@ use proptest::prelude::*;
 
 fn op_strategy() -> impl Strategy<Value = TrcOp> {
     prop_oneof![
-        4 => (any::<u64>(), any::<u32>()).prop_map(|(token, size)| TrcOp::Alloc { token, size }),
+        4 => (any::<u64>(), any::<u32>(), any::<u32>())
+            .prop_map(|(token, size, site)| TrcOp::Alloc { token, size, site }),
         3 => any::<u64>().prop_map(|token| TrcOp::Free { token }),
         1 => (any::<u64>(), 0u32..64).prop_map(|(token, to)| TrcOp::Send { token, to }),
         2 => any::<u32>().prop_map(|units| TrcOp::Work { units }),

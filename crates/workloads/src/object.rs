@@ -37,6 +37,14 @@ impl Obj {
         Self::try_alloc(alloc, meter, size).expect("workload allocation failed")
     }
 
+    /// [`alloc`](Self::alloc) tagged with an allocation-site id: the
+    /// thread's site register is set around the allocator call (and
+    /// restored) so an attached profiler or recorder attributes the
+    /// block to `site`. Site 0 means untagged.
+    pub fn alloc_site(alloc: &dyn MtAllocator, meter: &LiveMeter, size: usize, site: u32) -> Obj {
+        Self::try_alloc_site(alloc, meter, size, site).expect("workload allocation failed")
+    }
+
     /// Like [`alloc`](Self::alloc), but a refused allocation returns
     /// `None` (nothing is registered or metered) so workloads can
     /// degrade gracefully under injected memory pressure.
@@ -50,6 +58,20 @@ impl Obj {
             size: size as u32,
             owner_proc: current_proc() as u32,
         })
+    }
+
+    /// [`try_alloc`](Self::try_alloc) tagged with an allocation-site id
+    /// (see [`alloc_site`](Self::alloc_site)).
+    pub fn try_alloc_site(
+        alloc: &dyn MtAllocator,
+        meter: &LiveMeter,
+        size: usize,
+        site: u32,
+    ) -> Option<Obj> {
+        let prev = hoard_sim::set_alloc_site(site);
+        let obj = Self::try_alloc(alloc, meter, size);
+        hoard_sim::set_alloc_site(prev);
+        obj
     }
 
     /// Write the object (cache-modelled plus a real volatile write).

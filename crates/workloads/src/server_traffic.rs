@@ -254,7 +254,20 @@ pub fn generate(params: &Params) -> (TrcTrace, GenSummary) {
 
             let token = next_token;
             next_token += 1;
-            emit(&mut streams, &mut last_ts, worker, at, TrcOp::Alloc { token, size });
+            // Site = tenant + 1: the generator's natural allocation-site
+            // axis (derived from an already-drawn value, so stamping
+            // sites does not perturb the RNG stream or the trace shape).
+            emit(
+                &mut streams,
+                &mut last_ts,
+                worker,
+                at,
+                TrcOp::Alloc {
+                    token,
+                    size,
+                    site: tenant as u32 + 1,
+                },
+            );
             if migrated {
                 emit(
                     &mut streams,

@@ -29,8 +29,9 @@ use std::sync::Mutex;
 /// One event in a thread's stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceOp {
-    /// Allocate `size` bytes and bind the result to object `id`.
-    Alloc { id: u32, size: u32 },
+    /// Allocate `size` bytes and bind the result to object `id`,
+    /// attributed to allocation site `site` (0 = untagged).
+    Alloc { id: u32, size: u32, site: u32 },
     /// Free object `id` (which this thread allocated or received).
     Free { id: u32 },
     /// Send object `id` to thread `to` (it will free or hold it).
@@ -63,14 +64,18 @@ impl Trace {
     }
 
     /// Serialize to a line-oriented text format
-    /// (`t0 a 5 128` / `t0 f 5` / `t0 s 5 2` / `t0 w 40`).
+    /// (`t0 a 5 128` / `t0 a 5 128 7` with a site tag / `t0 f 5` /
+    /// `t0 s 5 2` / `t0 w 40`).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (t, stream) in self.streams.iter().enumerate() {
             for op in stream {
                 match op {
-                    TraceOp::Alloc { id, size } => {
+                    TraceOp::Alloc { id, size, site: 0 } => {
                         out.push_str(&format!("t{t} a {id} {size}\n"));
+                    }
+                    TraceOp::Alloc { id, size, site } => {
+                        out.push_str(&format!("t{t} a {id} {size} {site}\n"));
                     }
                     TraceOp::Free { id } => out.push_str(&format!("t{t} f {id}\n")),
                     TraceOp::Send { id, to } => {
@@ -113,10 +118,16 @@ impl Trace {
                     .ok_or_else(|| err(what))
             };
             let op = match kind {
-                "a" => TraceOp::Alloc {
-                    id: num("bad id")?,
-                    size: num("bad size")?,
-                },
+                "a" => {
+                    let id = num("bad id")?;
+                    let size = num("bad size")?;
+                    // Optional trailing site tag (absent = untagged).
+                    let site = match parts.next() {
+                        Some(v) => v.parse().map_err(|_| err("bad site"))?,
+                        None => 0,
+                    };
+                    TraceOp::Alloc { id, size, site }
+                }
                 "f" => TraceOp::Free { id: num("bad id")? },
                 "s" => TraceOp::Send {
                     id: num("bad id")?,
@@ -144,7 +155,7 @@ impl Trace {
         let mut allocated: HashMap<u32, usize> = HashMap::new();
         for (t, stream) in self.streams.iter().enumerate() {
             for op in stream {
-                if let TraceOp::Alloc { id, size } = op {
+                if let TraceOp::Alloc { id, size, .. } = op {
                     if *size == 0 {
                         return Err(format!("object {id}: zero size"));
                     }
@@ -217,9 +228,10 @@ impl Trace {
                         .map(|op| TrcRecord {
                             dt: 0,
                             op: match *op {
-                                TraceOp::Alloc { id, size } => TrcOp::Alloc {
+                                TraceOp::Alloc { id, size, site } => TrcOp::Alloc {
                                     token: u64::from(id),
                                     size,
+                                    site,
                                 },
                                 TraceOp::Free { id } => TrcOp::Free {
                                     token: u64::from(id),
@@ -308,11 +320,12 @@ impl Trace {
         for (t, stream) in trc.streams.iter().enumerate() {
             for r in stream {
                 match r.op {
-                    TrcOp::Alloc { token, size } => {
+                    TrcOp::Alloc { token, size, site } => {
                         let id = ids[&token];
                         streams[t].push(TraceOp::Alloc {
                             id,
                             size: size.max(1),
+                            site,
                         });
                         if let Some(&to) = inserted_sends.get(&id) {
                             streams[t].push(TraceOp::Send { id, to });
@@ -360,9 +373,14 @@ impl TraceBuilder {
 
     /// Record an allocation on `thread`; returns the object id.
     pub fn alloc(&mut self, thread: usize, size: u32) -> u32 {
+        self.alloc_site(thread, size, 0)
+    }
+
+    /// Record an allocation tagged with allocation site `site`.
+    pub fn alloc_site(&mut self, thread: usize, size: u32, site: u32) -> u32 {
         let id = self.next_id;
         self.next_id += 1;
-        self.trace.streams[thread].push(TraceOp::Alloc { id, size });
+        self.trace.streams[thread].push(TraceOp::Alloc { id, size, site });
         id
     }
 
@@ -531,8 +549,8 @@ pub fn replay(alloc: &dyn MtAllocator, trace: &Trace) -> WorkloadResult {
 
             hoard_sim::switch_context(p, clocks[p]);
             match trace.streams[p][pcs[p]] {
-                TraceOp::Alloc { id, size } => {
-                    let obj = Obj::alloc(alloc, &meter, size as usize);
+                TraceOp::Alloc { id, size, site } => {
+                    let obj = Obj::alloc_site(alloc, &meter, size as usize, site);
                     obj.write();
                     objects[p].insert(id, obj);
                 }
@@ -637,8 +655,8 @@ pub fn replay_concurrent(alloc: &dyn MtAllocator, trace: &Trace) -> WorkloadResu
             for op in &stream {
                 drain_mailbox(&mut objects);
                 match *op {
-                    TraceOp::Alloc { id, size } => {
-                        let obj = Obj::alloc(alloc, meter, size as usize);
+                    TraceOp::Alloc { id, size, site } => {
+                        let obj = Obj::alloc_site(alloc, meter, size as usize, site);
                         obj.write();
                         objects.insert(id, obj);
                     }

@@ -3,8 +3,9 @@
 //! and a replay captured through the recorder must preserve the
 //! trace's operation counts exactly.
 
-use hoard_core::{HoardAllocator, HoardConfig, TrcRecorder};
+use hoard_core::{HeapProfiler, HoardAllocator, HoardConfig, TrcRecorder};
 use hoard_workloads::server_traffic::{self, Params};
+use hoard_workloads::threadtest;
 use hoard_workloads::trace::{replay, Trace};
 use std::sync::Arc;
 
@@ -86,12 +87,79 @@ fn capture_during_replay_preserves_counts() {
     let recaptured = rec.trace();
     assert_eq!(recaptured.allocs(), trc.allocs());
 
-    // The recaptured trace is itself replayable (Send/Work context is
-    // gone, so only the operation counts carry over — not timing).
+    // The recaptured trace is itself replayable. The recorder keeps
+    // per-op spans and synthesizes the inter-op gaps as Work records,
+    // so timing carries over alongside the operation counts.
     let trace2 = Trace::from_trc(&recaptured).expect("recapture converts");
     let h2 = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
     let second = replay(&h2, &trace2);
     assert_eq!(second.snapshot.allocs, summary.sessions);
     assert_eq!(second.snapshot.frees, second.snapshot.allocs);
     assert_eq!(second.snapshot.live_current, 0);
+}
+
+#[test]
+fn recorded_makespan_is_reproduced_by_replay() {
+    // Timing fidelity (single worker: one lane, no scheduling noise):
+    // the recorder's per-op spans plus synthesized Work gaps must make
+    // the replayed virtual makespan land close to the recorded one.
+    // The known bias: the replay re-executes the cache-model touch that
+    // the recording folded into the inter-op gap, so replays run a few
+    // percent long — the tolerance bounds that bias, and the workload
+    // carries realistic per-object app compute so allocator-adjacent
+    // costs don't dominate the gap.
+    let params = threadtest::Params {
+        total_objects: 5_000,
+        batch: 50,
+        size: 64,
+        work_per_object: 40,
+    };
+    let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let rec = Arc::new(TrcRecorder::new(42, "tt-fidelity", 2));
+    h.attach_recorder(Arc::clone(&rec));
+    let recorded = threadtest::run(&h, 1, &params);
+
+    let trace = Trace::from_trc(&rec.trace()).expect("recapture converts");
+    let h2 = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+    let replayed = replay(&h2, &trace);
+
+    let rel = (replayed.makespan as f64 - recorded.makespan as f64).abs()
+        / recorded.makespan as f64;
+    assert!(
+        rel <= 0.10,
+        "replayed makespan {} drifted {:.1}% from recorded {}",
+        replayed.makespan,
+        100.0 * rel,
+        recorded.makespan
+    );
+    assert_eq!(replayed.snapshot.allocs, recorded.snapshot.allocs);
+}
+
+#[test]
+fn profiled_replay_twice_is_deterministic() {
+    // Profiling charges real virtual time (Cost::ProfileSample per op
+    // and per timeline tick), so the profiled makespan differs from the
+    // bare one — but it must differ *identically* on every replay, and
+    // the frozen profile must be byte-identical too.
+    let (trc, _) = small_traffic();
+    let trace = Trace::from_trc(&trc).expect("generated trace converts");
+
+    let run = || {
+        let h = HoardAllocator::with_config(HoardConfig::with_default_magazines()).unwrap();
+        let prof = Arc::new(HeapProfiler::new());
+        h.attach_profiler(Arc::clone(&prof));
+        let result = replay(&h, &trace);
+        let snap = prof.snapshot(result.makespan);
+        (result, snap)
+    };
+    let (ra, sa) = run();
+    let (rb, sb) = run();
+    assert_eq!(ra.makespan, rb.makespan, "profiled makespan must not drift");
+    assert_eq!(ra.snapshot, rb.snapshot, "allocator counters must match");
+    assert_eq!(sa, sb, "profile snapshots byte-identical across replays");
+    assert!(sa.total_allocs > 0 && !sa.timeline.is_empty());
+
+    // And the profiler saw exactly what the allocator did.
+    assert_eq!(sa.total_allocs, ra.snapshot.allocs);
+    assert_eq!(sa.total_frees, ra.snapshot.frees);
 }

@@ -1,3 +1,7 @@
+// The stub ProptestConfig used offline has only the fields we set, which
+// makes `..default()` a needless_update under clippy; keep it for real proptest.
+#![allow(clippy::needless_update)]
+
 //! Property tests across workload parameter spaces: for random
 //! parameters and any allocator, every workload must terminate, return
 //! all memory, and report sane accounting. These catch parameter-edge

@@ -1,14 +1,21 @@
 //! Memory-efficiency study: the paper's fragmentation measurement
-//! (`max held / max live`) across allocators and workloads, plus the
-//! producer-consumer blowup series.
+//! (`max held / max live`) across allocators and workloads, the
+//! producer-consumer blowup series, and a long-running churn scenario
+//! that emits the live-heap profiler's fragmentation timeline and
+//! self-checks that held bytes plateau (the emptiness invariant at
+//! work: churn must not grow the footprint without bound).
 //!
 //! ```text
 //! cargo run --release --example fragmentation_study
 //! ```
+//!
+//! Exits non-zero if the churn phase's held bytes fail to plateau.
 
+use hoard_core::{HeapProfiler, HoardAllocator, HoardConfig, ProfileConfig};
 use hoard_harness::AllocatorKind;
 use hoard_mem::MtAllocator;
-use hoard_workloads::{consume, shbench, threadtest, WorkloadResult};
+use hoard_workloads::{consume, shbench, threadtest, LiveMeter, Obj, WorkloadResult};
+use std::sync::Arc;
 
 fn study(name: &str, run: &dyn Fn(&dyn MtAllocator) -> WorkloadResult) {
     println!("== {name} ==");
@@ -66,4 +73,105 @@ fn main() {
         println!();
     }
     println!("\npure-private grows without bound; Hoard and serial stay flat (paper §2-3)");
+
+    if !churn_study() {
+        eprintln!("FAIL: held bytes did not plateau under churn");
+        std::process::exit(1);
+    }
+}
+
+/// Long-running churn with the live-heap profiler attached: a constant
+/// live set cycles through shifting size mixes for many rounds, the
+/// profiler's timeline records `A` (held) vs `U` (live) on the virtual
+/// clock, and the study asserts held bytes *plateau* — the late-run
+/// held peak must not exceed the early-run peak by more than 10%, or
+/// churn is leaking footprint past the emptiness invariant.
+fn churn_study() -> bool {
+    const ROUNDS: usize = 400;
+    const WORKING_SET: usize = 64;
+    // Shifting size mix: each era retires one class and churns another,
+    // the pattern that strands partially-empty superblocks.
+    const SIZES: [usize; 4] = [48, 136, 320, 760];
+
+    let h = HoardAllocator::with_config(HoardConfig::with_default_magazines())
+        .expect("valid config");
+    let prof = Arc::new(HeapProfiler::with_config(ProfileConfig {
+        timeline_interval: 5_000,
+        ..Default::default()
+    }));
+    h.attach_profiler(Arc::clone(&prof));
+    let meter = LiveMeter::new();
+
+    let snapshot = hoard_sim::sequential_scope(1, || {
+        hoard_sim::switch_context(0, 0);
+        let mut slots: Vec<Option<Obj>> = (0..WORKING_SET).map(|_| None).collect();
+        let mut n = 0u64;
+        for round in 0..ROUNDS {
+            let size = SIZES[(round / 25) % SIZES.len()];
+            for slot in slots.iter_mut() {
+                // Replace roughly half the working set each round (a
+                // cheap deterministic hash picks the victims).
+                n = n.wrapping_mul(6364136223846793005).wrapping_add(round as u64 + 1);
+                if n & 1 == 0 {
+                    if let Some(old) = slot.take() {
+                        old.free(&h, &meter);
+                    }
+                    *slot = Some(Obj::alloc_site(&h, &meter, size, 1 + (round / 25) as u32));
+                }
+            }
+        }
+        for slot in slots.iter_mut() {
+            if let Some(old) = slot.take() {
+                old.free(&h, &meter);
+            }
+        }
+        h.flush_frontend();
+        prof.snapshot(hoard_sim::now())
+    });
+
+    println!("== long-running churn (fragmentation timeline) ==");
+    println!(
+        "{} rounds x {} slots, {} allocs; timeline {} points @ interval {}",
+        ROUNDS,
+        WORKING_SET,
+        snapshot.total_allocs,
+        snapshot.timeline.len(),
+        snapshot.timeline_interval,
+    );
+    println!("{:>14} {:>12} {:>12} {:>8}", "t", "held A", "live U", "A/U");
+    let stride = (snapshot.timeline.len() / 12).max(1);
+    for pt in snapshot.timeline.iter().step_by(stride) {
+        println!(
+            "{:>14} {:>12} {:>12} {:>8.2}",
+            pt.ts,
+            pt.held_bytes,
+            pt.live_bytes,
+            if pt.live_bytes > 0 {
+                pt.held_bytes as f64 / pt.live_bytes as f64
+            } else {
+                f64::NAN
+            }
+        );
+    }
+
+    let points = &snapshot.timeline;
+    if points.len() < 8 {
+        eprintln!("timeline too short to judge a plateau ({} points)", points.len());
+        return false;
+    }
+    let early_peak = points[..points.len() / 2]
+        .iter()
+        .map(|p| p.held_bytes)
+        .max()
+        .unwrap_or(0);
+    let late_peak = points[points.len() * 3 / 4..]
+        .iter()
+        .map(|p| p.held_bytes)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "held plateau check: early-half peak {} B, last-quarter peak {} B",
+        early_peak, late_peak
+    );
+    late_peak as f64 <= early_peak as f64 * 1.10
 }
